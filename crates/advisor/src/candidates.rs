@@ -1,0 +1,182 @@
+//! Per-attribute bucketing candidates (paper §6.1.2, Table 4).
+//!
+//! For each candidate attribute the advisor considers all equi-width
+//! bucketings that yield between `2^2` and `2^16` buckets, with widths
+//! scaling exponentially; few-valued attributes are also offered
+//! unbucketed. The paper's Table 4 shows exactly this output for the SX6
+//! query: `mode` (3 values) unbucketed, `type` (5 values) none–2¹,
+//! `psfMag_g` (196,352 values) 2²–2¹⁶, `fieldID` (251 values) none–2⁶.
+
+use cm_core::BucketSpec;
+use cm_query::Table;
+
+/// Bounds on the number of buckets a candidate bucketing may produce
+/// (configurable in the paper; these are its defaults).
+pub const MIN_BUCKETS: u64 = 1 << 2;
+/// Upper bound on buckets (2^16).
+pub const MAX_BUCKETS: u64 = 1 << 16;
+
+/// The candidate bucketings of one attribute.
+#[derive(Debug, Clone)]
+pub struct AttrCandidates {
+    /// Column position.
+    pub col: usize,
+    /// Column name (for Table 4-style reports).
+    pub name: String,
+    /// Estimated column cardinality.
+    pub cardinality: u64,
+    /// Candidate specs, coarsest last. `BucketSpec::None` first when the
+    /// attribute is few-valued enough to store raw.
+    pub specs: Vec<BucketSpec>,
+    /// Per-spec bucket *level* in the paper's units (2^level distinct
+    /// values per bucket); `None` for the unbucketed candidate.
+    pub levels: Vec<Option<u32>>,
+}
+
+impl AttrCandidates {
+    /// Human-readable bucket-width summary ("none ~ 2^6", "2^2 ~ 2^16"),
+    /// the format of the paper's Table 4 (widths are values-per-bucket).
+    pub fn widths_label(&self) -> String {
+        let fmt = |l: &Option<u32>| match l {
+            None => "none".to_string(),
+            Some(k) => format!("2^{k}"),
+        };
+        match self.levels.len() {
+            0 => "-".to_string(),
+            1 => fmt(&self.levels[0]),
+            n => format!("{} ~ {}", fmt(&self.levels[0]), fmt(&self.levels[n - 1])),
+        }
+    }
+}
+
+/// Enumerate the candidate bucketings of `col` (requires
+/// [`Table::analyze_cols`] to have produced statistics for it).
+///
+/// Following §6.1.2, bucket *sizes* (distinct values per bucket) scale
+/// exponentially and only bucketings yielding between [`MIN_BUCKETS`] and
+/// [`MAX_BUCKETS`] buckets are kept; a column with 100 values is offered
+/// sizes 2¹..2⁵. Numeric attributes realize a size of `2^k` as an
+/// equi-width histogram with `cardinality / 2^k` bins over the observed
+/// domain; categorical attributes are offered raw only.
+pub fn bucketing_candidates(table: &Table, col: usize) -> AttrCandidates {
+    let stats = table
+        .col_stats(col)
+        .unwrap_or_else(|| panic!("column {col} must be analyzed before advising"));
+    let name = table.heap().schema().col_name(col).to_string();
+    let cardinality = stats.corr.distinct_u;
+    let mut specs = Vec::new();
+    let mut levels = Vec::new();
+    // Raw storage is viable when the key count itself is acceptable.
+    if cardinality <= MAX_BUCKETS {
+        specs.push(BucketSpec::None);
+        levels.push(None);
+    }
+    let numeric_span = match (&stats.min, &stats.max) {
+        (Some(lo), Some(hi)) => match (lo.as_numeric(), hi.as_numeric()) {
+            (Some(lo), Some(hi)) if hi > lo => Some((lo, hi)),
+            _ => None,
+        },
+        _ => None,
+    };
+    if let Some((lo, hi)) = numeric_span {
+        for level in 1..=40u32 {
+            let values_per_bucket = 1u64 << level;
+            if values_per_bucket >= cardinality {
+                break;
+            }
+            let buckets = cardinality / values_per_bucket;
+            if buckets > MAX_BUCKETS {
+                continue;
+            }
+            if buckets < MIN_BUCKETS {
+                break;
+            }
+            specs.push(BucketSpec::covering(lo, hi, buckets as u32));
+            levels.push(Some(level));
+        }
+    }
+    AttrCandidates { col, name, cardinality, specs, levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_storage::{Column, DiskSim, Schema, Value, ValueType};
+    use std::sync::Arc;
+
+    fn table_with(disk: &DiskSim, make: impl Fn(i64) -> Vec<Value>, n: i64) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("c", ValueType::Int),
+            Column::new("u", ValueType::Int),
+            Column::new("s", ValueType::Str),
+        ]));
+        let rows = (0..n).map(make).collect();
+        let mut t = Table::build(disk, schema, rows, 20, 0, 40).unwrap();
+        t.analyze_cols(&[1, 2]);
+        t
+    }
+
+    #[test]
+    fn few_valued_attribute_offered_raw() {
+        let disk = DiskSim::with_defaults();
+        let t = table_with(
+            &disk,
+            |i| vec![Value::Int(i), Value::Int(i % 3), Value::str("x")],
+            1000,
+        );
+        let c = bucketing_candidates(&t, 1);
+        assert_eq!(c.cardinality, 3);
+        assert_eq!(c.specs, vec![BucketSpec::None], "nothing beyond raw for 3 values");
+        assert_eq!(c.widths_label(), "none");
+    }
+
+    #[test]
+    fn many_valued_attribute_gets_width_sweep() {
+        let disk = DiskSim::with_defaults();
+        let t = table_with(
+            &disk,
+            |i| vec![Value::Int(i), Value::Int(i * 7 % 60_000), Value::str("x")],
+            60_000,
+        );
+        let c = bucketing_candidates(&t, 1);
+        assert!(c.specs.contains(&BucketSpec::None), "60k values still fit raw");
+        let widths: Vec<f64> = c
+            .specs
+            .iter()
+            .filter_map(|s| match s {
+                BucketSpec::EquiWidth { width, .. } => Some(*width),
+                _ => None,
+            })
+            .collect();
+        assert!(widths.len() >= 8, "several widths: {widths:?}");
+        // Bucket counts all within bounds.
+        for w in widths {
+            let buckets = (60_000.0 / w).ceil() as u64;
+            assert!((MIN_BUCKETS..=MAX_BUCKETS).contains(&buckets), "{buckets}");
+        }
+        assert!(c.widths_label().contains('~'));
+    }
+
+    #[test]
+    fn categorical_attribute_is_raw_only() {
+        let disk = DiskSim::with_defaults();
+        let t = table_with(
+            &disk,
+            |i| vec![Value::Int(i), Value::Int(0), Value::str(format!("s{}", i % 40))],
+            2000,
+        );
+        let c = bucketing_candidates(&t, 2);
+        assert_eq!(c.specs, vec![BucketSpec::None]);
+        assert_eq!(c.cardinality, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be analyzed")]
+    fn unanalyzed_column_panics() {
+        let disk = DiskSim::with_defaults();
+        let schema = Arc::new(Schema::new(vec![Column::new("a", ValueType::Int)]));
+        let rows = (0..10i64).map(|i| vec![Value::Int(i)]).collect();
+        let t = Table::build(&disk, schema, rows, 4, 0, 4).unwrap();
+        bucketing_candidates(&t, 0);
+    }
+}

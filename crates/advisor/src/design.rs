@@ -1,0 +1,121 @@
+//! Candidate CM designs and their sample-based estimates.
+
+use cm_core::{BucketSpec, CmAttr};
+use cm_storage::Schema;
+
+/// One candidate CM design: an ordered set of key attributes with their
+/// bucketings (§6.1.3).
+#[derive(Debug, Clone)]
+pub struct CmDesign {
+    /// Key attributes in order.
+    pub attrs: Vec<CmAttr>,
+}
+
+impl CmDesign {
+    /// Paper-style label, e.g. `psfMag_g(2^13), type, fieldID` (Table 5).
+    pub fn label(&self, schema: &Schema) -> String {
+        self.attrs
+            .iter()
+            .map(|a| {
+                let name = schema.col_name(a.col);
+                match &a.bucket {
+                    BucketSpec::None => name.to_string(),
+                    BucketSpec::EquiWidth { width, .. } => {
+                        let log = width.log2();
+                        if (log - log.round()).abs() < 1e-9 && log >= 0.0 {
+                            format!("{name}(2^{})", log.round() as i64)
+                        } else {
+                            format!("{name}(w={width:.4})")
+                        }
+                    }
+                    BucketSpec::EquiDepth { bounds } => {
+                        format!("{name}(eqd:{})", bounds.len() + 1)
+                    }
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// A design together with its advisor estimates.
+#[derive(Debug, Clone)]
+pub struct DesignEstimate {
+    /// The design.
+    pub design: CmDesign,
+    /// Estimated composite `c_per_u` — distinct clustered buckets per
+    /// distinct (bucketed) key.
+    pub c_per_u: f64,
+    /// Estimated distinct CM keys.
+    pub keys: f64,
+    /// Estimated `(key, clustered bucket)` pairs.
+    pub pairs: f64,
+    /// Estimated serialized CM size in bytes.
+    pub size_bytes: f64,
+    /// Estimated cost of the training query through this CM (ms).
+    pub cost_ms: f64,
+    /// Fractional slowdown relative to the best candidate
+    /// (`cost / best_cost − 1`; the paper's "+3%" column in Table 5).
+    pub slowdown: f64,
+    /// Size relative to the dense secondary B+Tree on the same
+    /// attributes (Table 5's "Size Ratio" column).
+    pub size_ratio: f64,
+}
+
+impl DesignEstimate {
+    /// One Table 5-style row: `+3% | psfMag_g(2^14), type | 14.6%`.
+    pub fn table5_row(&self, schema: &Schema) -> String {
+        format!(
+            "{:>+5.0}% | {:<44} | {:>6.1}%",
+            self.slowdown * 100.0,
+            self.design.label(schema),
+            self.size_ratio * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_storage::{Column, ValueType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("fieldID", ValueType::Int),
+            Column::new("psfMag_g", ValueType::Float),
+            Column::new("type", ValueType::Int),
+        ])
+    }
+
+    #[test]
+    fn labels_match_paper_format() {
+        let s = schema();
+        let d = CmDesign {
+            attrs: vec![
+                CmAttr { col: 1, bucket: BucketSpec::EquiWidth { origin: 0.0, width: 8192.0 } },
+                CmAttr::raw(2),
+                CmAttr::raw(0),
+            ],
+        };
+        assert_eq!(d.label(&s), "psfMag_g(2^13), type, fieldID");
+    }
+
+    #[test]
+    fn table5_row_renders() {
+        let s = schema();
+        let e = DesignEstimate {
+            design: CmDesign { attrs: vec![CmAttr::raw(0)] },
+            c_per_u: 1.2,
+            keys: 251.0,
+            pairs: 300.0,
+            size_bytes: 7200.0,
+            cost_ms: 33.0,
+            slowdown: 0.10,
+            size_ratio: 0.008,
+        };
+        let row = e.table5_row(&s);
+        assert!(row.contains("+10%"));
+        assert!(row.contains("fieldID"));
+        assert!(row.contains("0.8%"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # cm-advisor
+//!
+//! The **CM Advisor** (paper §6): an offline designer that, given a
+//! training query, enumerates every composite CM key and bucketing over
+//! the query's predicated attributes, estimates each design's composite
+//! `c_per_u` and size from a random sample (Adaptive Estimator, §4.2 /
+//! §6.1.3), prices each design with the correlation-aware cost model, and
+//! recommends the **smallest CM within a user performance threshold**
+//! relative to the unbucketed / secondary-B+Tree baseline (§6.2.2,
+//! Table 5).
+//!
+//! The search space follows the paper exactly:
+//!
+//! * only attributes predicated in the training query are considered
+//!   (§6.2.1), and predicates less selective than a threshold (0.5) are
+//!   pruned;
+//! * per attribute, candidate bucketings yield between 2² and 2¹⁶
+//!   buckets, with bucket sizes scaling exponentially (§6.1.2, Table 4);
+//! * the number of candidate designs is
+//!   `∏(bucketings(c) + 1) − 1` (§6.1.3 counts 767 for four attributes).
+
+pub mod candidates;
+pub mod clustering;
+pub mod design;
+pub mod discovery;
+pub mod recommend;
+
+pub use candidates::{bucketing_candidates, AttrCandidates};
+pub use clustering::{recommend_clustering, ClusteringChoice};
+pub use design::{CmDesign, DesignEstimate};
+pub use discovery::{discover_for_clustered, discover_soft_fds, DiscoveryConfig, SoftFd};
+pub use recommend::{Advisor, AdvisorConfig, Recommendation};

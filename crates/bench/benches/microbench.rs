@@ -1,0 +1,159 @@
+//! Criterion microbenchmarks of the hot paths: CM build / lookup /
+//! maintenance, B+Tree operations, bucketing, and the cardinality
+//! estimators. These complement the experiment binaries (which reproduce
+//! the paper's tables/figures on the simulated disk) by measuring real
+//! CPU costs of the in-memory structures.
+
+use cm_core::{AttrConstraint, BucketDirectory, BucketSpec, CmAttr, CmSpec, CorrelationMap};
+use cm_index::BPlusTree;
+use cm_stats::{estimate_distinct, DistinctSampler, EstimatorKind, FreqTable};
+use cm_storage::{Column, DiskSim, HeapFile, Rid, Schema, Value, ValueType};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn price_heap(rows: usize) -> (Arc<DiskSim>, HeapFile) {
+    let disk = DiskSim::with_defaults();
+    let schema = Arc::new(Schema::new(vec![
+        Column::new("catid", ValueType::Int),
+        Column::new("price", ValueType::Int),
+    ]));
+    let data: Vec<Vec<Value>> = (0..rows as i64)
+        .map(|i| {
+            let cat = i % 1000;
+            vec![Value::Int(cat), Value::Int(cat * 1000 + (i * 37) % 1000)]
+        })
+        .collect();
+    let heap = HeapFile::bulk_load_clustered(&disk, schema, data, 90, 0).unwrap();
+    (disk, heap)
+}
+
+fn bench_cm(c: &mut Criterion) {
+    let (_disk, heap) = price_heap(100_000);
+    let dir = BucketDirectory::build(&heap, 0, 900);
+    let spec = CmSpec::single_pow2(1, 12);
+
+    c.bench_function("cm_build_100k", |b| {
+        b.iter(|| CorrelationMap::build("bench", spec.clone(), &heap, &dir))
+    });
+
+    let cm = CorrelationMap::build("bench", spec.clone(), &heap, &dir);
+    c.bench_function("cm_lookup_eq", |b| {
+        b.iter(|| black_box(cm.lookup(&[AttrConstraint::Eq(Value::Int(500_500))])))
+    });
+    c.bench_function("cm_lookup_range", |b| {
+        b.iter(|| {
+            black_box(cm.lookup(&[AttrConstraint::Range(
+                Value::Int(100_000),
+                Value::Int(150_000),
+            )]))
+        })
+    });
+
+    c.bench_function("cm_insert_delete", |b| {
+        let row = vec![Value::Int(500), Value::Int(500_123)];
+        let mut cm = CorrelationMap::build("bench", spec.clone(), &heap, &dir);
+        b.iter(|| {
+            cm.insert(&row, Rid(42 * 900), &dir);
+            cm.delete(&row, Rid(42 * 900), &dir);
+        })
+    });
+
+    let composite = CmSpec::new(vec![CmAttr::pow2(1, 10), CmAttr::raw(0)]);
+    c.bench_function("cm_build_composite_100k", |b| {
+        b.iter(|| CorrelationMap::build("bench", composite.clone(), &heap, &dir))
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    c.bench_function("btree_insert_100k_seq", |b| {
+        b.iter_batched(
+            || BPlusTree::<i64, u64>::new(64),
+            |mut t| {
+                for i in 0..100_000i64 {
+                    t.insert(i, i as u64);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let mut tree: BPlusTree<i64, u64> = BPlusTree::new(64);
+    for i in 0..100_000i64 {
+        tree.insert((i * 2_654_435_761) % 1_000_003, i as u64);
+    }
+    c.bench_function("btree_get", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 99_991) % 1_000_003;
+            black_box(tree.get(&k))
+        })
+    });
+    c.bench_function("btree_range_100", |b| {
+        b.iter(|| {
+            black_box(
+                tree.range(
+                    std::ops::Bound::Included(&500_000),
+                    std::ops::Bound::Unbounded,
+                )
+                .take(100)
+                .count(),
+            )
+        })
+    });
+}
+
+fn bench_bucketing(c: &mut Criterion) {
+    let (_disk, heap) = price_heap(100_000);
+    c.bench_function("bucket_directory_build_100k", |b| {
+        b.iter(|| BucketDirectory::build(&heap, 0, 900))
+    });
+    let dir = BucketDirectory::build(&heap, 0, 900);
+    c.bench_function("bucket_of_rid", |b| {
+        let mut r = 0u64;
+        b.iter(|| {
+            r = (r + 7919) % 100_000;
+            black_box(dir.bucket_of(Rid(r)))
+        })
+    });
+    let spec = BucketSpec::pow2(12);
+    c.bench_function("bucket_key_part", |b| {
+        b.iter(|| black_box(spec.key_part(&Value::Int(123_456))))
+    });
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    c.bench_function("distinct_sampler_100k", |b| {
+        b.iter(|| {
+            let mut ds = DistinctSampler::new(1024);
+            for i in 0..100_000u64 {
+                ds.observe_hash(i.wrapping_mul(0x9E3779B97F4A7C15));
+            }
+            black_box(ds.estimate())
+        })
+    });
+
+    let mut freq = FreqTable::new();
+    for i in 0..30_000u64 {
+        freq.observe(i % 7_000);
+    }
+    let profile = freq.freq_of_freq();
+    c.bench_function("adaptive_estimator", |b| {
+        b.iter(|| {
+            black_box(estimate_distinct(
+                EstimatorKind::Adaptive,
+                1_000_000,
+                30_000,
+                &profile,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cm, bench_btree, bench_bucketing, bench_estimators
+);
+criterion_main!(benches);

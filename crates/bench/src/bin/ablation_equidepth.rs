@@ -1,0 +1,14 @@
+//! Regenerates the equi-depth bucketing ablation (the paper's §8 future
+//! work). Run with `cargo run --release -p cm-bench --bin ablation_equidepth`.
+
+use cm_bench::datasets::BenchScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        BenchScale::Smoke
+    } else {
+        BenchScale::Full
+    };
+    let report = cm_bench::experiments::ablation_equidepth::run(scale);
+    println!("{}", report.to_text());
+}

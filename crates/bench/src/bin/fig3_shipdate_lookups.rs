@@ -1,0 +1,14 @@
+//! Regenerates the paper artifact `fig3_shipdate_lookups` (see crate docs). Run with
+//! `cargo run --release -p cm-bench --bin fig3_shipdate_lookups`.
+
+use cm_bench::datasets::BenchScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        BenchScale::Smoke
+    } else {
+        BenchScale::Full
+    };
+    let report = cm_bench::experiments::fig3_shipdate_lookups::run(scale);
+    println!("{}", report.to_text());
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper artifact `fig6_cm_vs_btree` (see crate docs). Run with
+//! `cargo run --release -p cm-bench --bin fig6_cm_vs_btree`.
+
+use cm_bench::datasets::BenchScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        BenchScale::Smoke
+    } else {
+        BenchScale::Full
+    };
+    let report = cm_bench::experiments::fig6_cm_vs_btree::run(scale);
+    println!("{}", report.to_text());
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper artifact `tab4_bucketing_candidates` (see crate docs). Run with
+//! `cargo run --release -p cm-bench --bin tab4_bucketing_candidates`.
+
+use cm_bench::datasets::BenchScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        BenchScale::Smoke
+    } else {
+        BenchScale::Full
+    };
+    let report = cm_bench::experiments::tab4_bucketing_candidates::run(scale);
+    println!("{}", report.to_text());
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper artifact `tab5_advisor_designs` (see crate docs). Run with
+//! `cargo run --release -p cm-bench --bin tab5_advisor_designs`.
+
+use cm_bench::datasets::BenchScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        BenchScale::Smoke
+    } else {
+        BenchScale::Full
+    };
+    let report = cm_bench::experiments::tab5_advisor_designs::run(scale);
+    println!("{}", report.to_text());
+}

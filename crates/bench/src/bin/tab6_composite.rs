@@ -1,0 +1,14 @@
+//! Regenerates the paper artifact `tab6_composite` (see crate docs). Run with
+//! `cargo run --release -p cm-bench --bin tab6_composite`.
+
+use cm_bench::datasets::BenchScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        BenchScale::Smoke
+    } else {
+        BenchScale::Full
+    };
+    let report = cm_bench::experiments::tab6_composite::run(scale);
+    println!("{}", report.to_text());
+}

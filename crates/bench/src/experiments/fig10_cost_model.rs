@@ -1,0 +1,106 @@
+//! **Figure 10 / Experiment 4** — cost-model accuracy across `c_per_u`.
+//!
+//! The paper queries `AVG(Price) WHERE CAT5 = X` through a CM on CAT5
+//! (strongly correlated with the CATID clustering), picking CAT5 values
+//! whose `c_per_u` ranges from 4 to 145, and shows the §4 model tracking
+//! the measured runtime across the whole range.
+
+use crate::datasets::{ebay_data, ebay_table, BenchScale};
+use crate::report::{ms, Report};
+use cm_core::{AttrConstraint, CmSpec};
+use cm_cost::CostParams;
+use cm_datagen::ebay::COL_CAT5;
+use cm_query::{ExecContext, Pred, Query};
+use cm_storage::{DiskSim, Value};
+use std::collections::HashMap;
+
+/// Run the experiment.
+pub fn run(scale: BenchScale) -> Report {
+    let data = ebay_data(scale);
+    let disk = DiskSim::with_defaults();
+    let mut table = ebay_table(&disk, &data);
+    let cm = table.add_cm("cat5_cm", CmSpec::single_raw(COL_CAT5));
+
+    // Rank CAT5 values by their clustered-bucket fan-out and pick a
+    // spread of percentiles (the paper picks values with c_per_u 4..145).
+    let mut fanout: HashMap<Value, usize> = HashMap::new();
+    for (key, buckets) in table.cm(cm).iter() {
+        if let cm_core::CmKeyPart::Raw(v) = &key[0] {
+            // NULL marks categories shallower than level 5 — not a
+            // meaningful predicate value.
+            if !v.is_null() {
+                fanout.insert(v.clone(), buckets.len());
+            }
+        }
+    }
+    let mut ranked: Vec<(Value, usize)> = fanout.into_iter().collect();
+    ranked.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    // One representative per distinct fan-out, then an even spread over
+    // those (the paper picks values with c_per_u 4, 15, 24, 62, 145).
+    let mut distinct: Vec<(Value, usize)> = Vec::new();
+    for (v, n) in ranked {
+        if distinct.last().map(|(_, ln)| *ln) != Some(n) {
+            distinct.push((v, n));
+        }
+    }
+    let picks: Vec<(Value, usize)> = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+        .iter()
+        .map(|p| distinct[((distinct.len() - 1) as f64 * p) as usize].clone())
+        .collect();
+
+    let params = CostParams::new(
+        &disk.config(),
+        table.heap().tups_per_page(),
+        table.heap().len(),
+        table.clustered().height(),
+    );
+
+    let mut report = Report::new(
+        "fig10",
+        "Cost model vs measured CM runtime across c_per_u (eBay, CAT5 = X)",
+        "runtime is primarily determined by how many clustered values the predicated \
+         value maps to; the model tracks measurements across c_per_u from 4 to 145",
+        vec!["CAT5 value", "c_per_u (buckets)", "measured", "model", "model/measured"],
+    );
+
+    let mut low_err: f64 = 0.0;
+    let mut high_ratio: f64 = 0.0;
+    for (v, _) in &picks {
+        let q = Query::single(Pred { col: COL_CAT5, op: cm_query::PredOp::Eq(v.clone()) });
+        let buckets = table.cm(cm).lookup(&[AttrConstraint::Eq(v.clone())]);
+        disk.reset();
+        let ctx = ExecContext::cold(&disk);
+        let run = table.exec_cm_scan(&ctx, cm, &q);
+        let model = params.cost_cm(
+            buckets.len() as f64,
+            1.0,
+            table.dir().avg_pages_per_bucket(),
+            table.clustered().height() as f64,
+        );
+        let ratio = model / run.ms().max(1e-9);
+        if buckets.len() <= 8 {
+            low_err = low_err.max((ratio - 1.0).abs());
+        } else {
+            high_ratio = high_ratio.max(ratio);
+        }
+        report.push(
+            v.to_string(),
+            vec![
+                buckets.len().to_string(),
+                ms(run.ms()),
+                ms(model),
+                format!("{ratio:.2}"),
+            ],
+        );
+    }
+
+    report.commentary = format!(
+        "runtime grows with fan-out as in the paper's Figure 10; the model tracks \
+         low-fan-out values within {:.0}% and is conservative (up to {:.1}x) at high \
+         fan-out, where merged bucket ranges and cached index descents undercut the \
+         per-value seek charge — the paper's §4.1 overestimation caveat",
+        low_err * 100.0,
+        high_ratio.max(1.0),
+    );
+    report
+}

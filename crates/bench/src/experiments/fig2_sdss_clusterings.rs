@@ -1,0 +1,139 @@
+//! **Figure 2** — number of SDSS benchmark queries accelerated ≥2/4/8/16×
+//! by each choice of clustered attribute.
+//!
+//! The paper's benchmark: 39 queries, each a 1%-selectivity predicate on
+//! one PhotoObj attribute; the table is clustered 39 ways (once per
+//! attribute) and each clustering is scored by how many of the 39 queries
+//! a secondary-index scan then beats a table scan by ≥2×, ≥4×, ≥8×, ≥16×.
+//! Attribute 1 (fieldID) is correlated with 12 attributes and accelerates
+//! 13 queries ≥2× (5 of them ≥16×).
+
+use crate::datasets::BenchScale;
+use crate::report::Report;
+use cm_datagen::{sdss, SdssConfig};
+use cm_storage::{DiskConfig, DiskSim, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A virtual sorted (bitmap) secondary index scan: gathers the matching
+/// pages analytically and charges the simulated disk for the index
+/// descent plus the page-ordered sweep. Used instead of materializing
+/// 39 × 39 real B+Trees — the charged access pattern is identical to
+/// `Table::exec_secondary_sorted`, which the integration tests verify at
+/// small scale.
+fn virtual_sorted_scan_ms(
+    disk_cfg: &DiskConfig,
+    rows: &[cm_storage::Row],
+    tpp: usize,
+    col: usize,
+    lo: &Value,
+    hi: &Value,
+) -> f64 {
+    let mut pages: BTreeSet<u64> = BTreeSet::new();
+    let mut matches = 0u64;
+    for (i, row) in rows.iter().enumerate() {
+        let v = &row[col];
+        if v >= lo && v <= hi {
+            pages.insert(i as u64 / tpp as u64);
+            matches += 1;
+        }
+    }
+    // Index descent (height ~3) + leaf chain for the matched postings.
+    let height = 3.0;
+    let leaf_pages = (matches as f64 / 64.0).ceil();
+    let mut ms = height * disk_cfg.seek_ms + leaf_pages * disk_cfg.seq_page_ms;
+    // Page-ordered heap sweep: contiguous pages cost sequential reads.
+    let mut last: Option<u64> = None;
+    for &p in &pages {
+        ms += if last.is_some() && last == p.checked_sub(1) {
+            disk_cfg.seq_page_ms
+        } else {
+            disk_cfg.seek_ms
+        };
+        last = Some(p);
+    }
+    ms
+}
+
+/// Run the experiment.
+pub fn run(scale: BenchScale) -> Report {
+    // Reduced row count: this experiment re-clusters the table 39 times.
+    let data = sdss(SdssConfig {
+        rows: scale.n_rows(),
+        fields: 251,
+        stripes: 20,
+        seed: 0x5D55,
+    });
+    let disk = DiskSim::with_defaults();
+    let cfg = disk.config();
+    let tpp = crate::datasets::SDSS_TPP;
+
+    // The 39 one-attribute queries at 1% selectivity.
+    let queries: Vec<(usize, Value, Value)> = data
+        .query_attrs
+        .iter()
+        .map(|&col| {
+            let (lo, hi) = data.selectivity_range(col, 0.01, col as u64);
+            (col, lo, hi)
+        })
+        .collect();
+
+    let scan_ms = {
+        let pages = (data.rows.len() as f64 / tpp as f64).ceil();
+        cfg.seek_ms + (pages - 1.0) * cfg.seq_page_ms
+    };
+
+    let mut report = Report::new(
+        "fig2",
+        "Queries accelerated by clustering choice (SDSS PhotoObj, 39 × 39)",
+        "clustering on a well-correlated attribute (fieldID = attr 1) accelerates 13 of \
+         39 queries ≥2× and 5 of them ≥16×; uncorrelated attributes accelerate only \
+         themselves",
+        vec!["clustered attr", ">=2x", ">=4x", ">=8x", ">=16x"],
+    );
+
+    let mut best = (0usize, 0usize);
+    let schema = data.schema.clone();
+    for &cluster_col in &data.query_attrs {
+        // Re-cluster: sort rows on the chosen attribute.
+        let mut rows = data.rows.clone();
+        rows.sort_by(|a, b| a[cluster_col].cmp(&b[cluster_col]));
+        let rows = Arc::new(rows);
+        let mut counts = [0usize; 4];
+        for (qcol, lo, hi) in &queries {
+            let ms = virtual_sorted_scan_ms(&cfg, &rows, tpp, *qcol, lo, hi);
+            let speedup = scan_ms / ms.max(1e-9);
+            for (slot, threshold) in [2.0, 4.0, 8.0, 16.0].iter().enumerate() {
+                if speedup >= *threshold {
+                    counts[slot] += 1;
+                }
+            }
+        }
+        if counts[0] > best.1 {
+            best = (cluster_col, counts[0]);
+        }
+        report.push(
+            schema.col_name(cluster_col).to_string(),
+            counts.iter().map(|c| c.to_string()).collect(),
+        );
+    }
+
+    report.commentary = format!(
+        "best clustering: {} accelerates {} of {} queries >=2x (table scan = {:.0} ms); \
+         position-family clusterings lift the whole family, independents only themselves",
+        schema.col_name(best.0),
+        best.1,
+        queries.len(),
+        scan_ms
+    );
+    report
+}
+
+trait Fig2Scale {
+    fn n_rows(&self) -> usize;
+}
+impl Fig2Scale for BenchScale {
+    fn n_rows(&self) -> usize {
+        self.n(100_000, 3_000)
+    }
+}

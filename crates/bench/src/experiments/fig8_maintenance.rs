@@ -1,0 +1,148 @@
+//! **Figure 8 / Experiment 3** — cost of 500k insertions as the number
+//! of secondary B+Trees vs. CMs grows from 0 to 10.
+//!
+//! The paper: B+Tree maintenance time deteriorates steeply with the
+//! index count (each index dirties more buffer-pool pages per INSERT,
+//! forcing evictions and random writes — down to 29 tuples/s at 10
+//! B+Trees), while CM maintenance stays level (~900 tuples/s at 10 CMs)
+//! because CMs are memory-resident; only WAL traffic grows.
+
+use crate::report::{ms, Report};
+use crate::datasets::{BenchScale, EBAY_TPP};
+use cm_core::{CmAttr, CmSpec};
+use cm_datagen::ebay::{ebay, EbayConfig, COL_CATID, COL_ITEMID, COL_PRICE};
+use cm_query::Table;
+use cm_storage::{BufferPool, DiskSim, Row, Wal};
+
+/// Buffer pool capacity in pages (small relative to the indexes' page
+/// count, as in the paper's 1 GB RAM vs multi-GB indexes).
+const POOL_PAGES: usize = 512;
+
+/// The columns the up-to-10 indexes cover: the six hierarchy levels,
+/// Price, ItemID, and two composites.
+fn index_cols(i: usize) -> Vec<usize> {
+    match i {
+        0..=5 => vec![1 + i], // CAT1..CAT6
+        6 => vec![COL_PRICE],
+        7 => vec![COL_ITEMID],
+        8 => vec![5, COL_PRICE],
+        _ => vec![6, COL_PRICE],
+    }
+}
+
+/// Equivalent CM specs on the same columns (price-like columns bucketed).
+fn cm_spec(i: usize) -> CmSpec {
+    match i {
+        0..=5 => CmSpec::single_raw(1 + i),
+        6 => CmSpec::single_pow2(COL_PRICE, 12),
+        7 => CmSpec::single_pow2(COL_ITEMID, 16),
+        8 => CmSpec::new(vec![CmAttr::raw(5), CmAttr::pow2(COL_PRICE, 12)]),
+        _ => CmSpec::new(vec![CmAttr::raw(6), CmAttr::pow2(COL_PRICE, 12)]),
+    }
+}
+
+/// Insert all batches through a pool + WAL; returns simulated ms.
+fn run_inserts(
+    disk: &std::sync::Arc<DiskSim>,
+    table: &mut Table,
+    batches: &[Vec<Row>],
+) -> f64 {
+    let pool = BufferPool::new(disk.clone(), POOL_PAGES);
+    let mut wal = Wal::new(disk.clone());
+    disk.reset();
+    for batch in batches {
+        for row in batch {
+            table
+                .insert_row(&pool, Some(&mut wal), row.clone())
+                .expect("generated row conforms");
+        }
+        wal.commit();
+    }
+    pool.flush_all();
+    disk.stats().elapsed_ms
+}
+
+/// Run the experiment.
+pub fn run(scale: BenchScale) -> Report {
+    let cfg = EbayConfig {
+        categories: scale.n(8_000, 200),
+        min_items: scale.n(10, 3),
+        max_items: scale.n(30, 8),
+        seed: 0xF18,
+    };
+    let counts: Vec<usize> = match scale {
+        BenchScale::Full => (0..=10).collect(),
+        BenchScale::Smoke => vec![0, 2, 5],
+    };
+    let n_batches = scale.n(50, 3);
+    let batch_size = scale.n(1_000, 100);
+
+    // Shared insert workload: identical rows for every configuration.
+    let batches: Vec<Vec<Row>> = {
+        let mut data = ebay(cfg);
+        (0..n_batches).map(|b| data.insert_batch(batch_size, b as u64)).collect()
+    };
+
+    let mut report = Report::new(
+        "fig8",
+        "Cost of bulk insertions vs number of indexes (eBay)",
+        "B+Tree maintenance deteriorates steeply with index count (dirty-page \
+         evictions); CM maintenance stays level (~30x gap at 10 indexes in the paper)",
+        vec!["#indexes", "B+Tree maintenance", "CM maintenance", "ratio"],
+    );
+
+    let mut last_ratio = 1.0;
+    for &n in &counts {
+        // B+Tree configuration.
+        let disk_b = DiskSim::with_defaults();
+        let data_b = ebay(cfg);
+        let mut tb = Table::build(
+            &disk_b,
+            data_b.schema.clone(),
+            data_b.rows,
+            EBAY_TPP,
+            COL_CATID,
+            (EBAY_TPP * 10) as u64,
+        )
+        .expect("rows conform");
+        for i in 0..n {
+            tb.add_secondary(&disk_b, format!("idx{i}"), index_cols(i));
+        }
+        let bt_ms = run_inserts(&disk_b, &mut tb, &batches);
+
+        // CM configuration.
+        let disk_c = DiskSim::with_defaults();
+        let data_c = ebay(cfg);
+        let mut tc = Table::build(
+            &disk_c,
+            data_c.schema.clone(),
+            data_c.rows,
+            EBAY_TPP,
+            COL_CATID,
+            (EBAY_TPP * 10) as u64,
+        )
+        .expect("rows conform");
+        for i in 0..n {
+            tc.add_cm(format!("cm{i}"), cm_spec(i));
+        }
+        let cm_ms = run_inserts(&disk_c, &mut tc, &batches);
+
+        last_ratio = bt_ms / cm_ms.max(1e-9);
+        report.push(
+            n.to_string(),
+            vec![ms(bt_ms), ms(cm_ms), format!("{last_ratio:.1}x")],
+        );
+    }
+
+    report.commentary = format!(
+        "at {} indexes the B+Tree configuration is {:.0}x slower to maintain than the \
+         CM configuration. The B+Tree side matches the paper's scale (tens of ms of \
+         random I/O per insert at 10 indexes ~ their 29 tuples/s); the CM side is \
+         cheaper than their 900 tuples/s because that figure was bounded by PostgreSQL \
+         per-row CPU work, which a disk-cost simulator does not charge — the reproduced \
+         claim is the shape: B+Trees deteriorate steeply, CMs stay level",
+        counts.last().unwrap(),
+        last_ratio
+    );
+    report
+}

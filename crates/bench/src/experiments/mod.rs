@@ -1,0 +1,40 @@
+//! One module per reproduced table/figure. Each exposes
+//! `run(scale) -> Report`; binaries print the report, `all_experiments`
+//! collects them into `EXPERIMENTS.md`, and integration tests smoke-run
+//! them at [`crate::datasets::BenchScale::Smoke`].
+
+pub mod ablation_equidepth;
+pub mod fig1_access_patterns;
+pub mod fig2_sdss_clusterings;
+pub mod fig3_shipdate_lookups;
+pub mod fig6_cm_vs_btree;
+pub mod fig7_bucket_sweep;
+pub mod fig8_maintenance;
+pub mod fig9_mixed_workload;
+pub mod fig10_cost_model;
+pub mod tab3_clustered_bucketing;
+pub mod tab4_bucketing_candidates;
+pub mod tab5_advisor_designs;
+pub mod tab6_composite;
+
+use crate::datasets::BenchScale;
+use crate::report::Report;
+
+/// Run every experiment in paper order.
+pub fn run_all(scale: BenchScale) -> Vec<Report> {
+    vec![
+        fig1_access_patterns::run(scale),
+        fig2_sdss_clusterings::run(scale),
+        fig3_shipdate_lookups::run(scale),
+        tab3_clustered_bucketing::run(scale),
+        tab4_bucketing_candidates::run(scale),
+        tab5_advisor_designs::run(scale),
+        fig6_cm_vs_btree::run(scale),
+        fig7_bucket_sweep::run(scale),
+        fig8_maintenance::run(scale),
+        fig9_mixed_workload::run(scale),
+        fig10_cost_model::run(scale),
+        tab6_composite::run(scale),
+        ablation_equidepth::run(scale),
+    ]
+}

@@ -1,0 +1,71 @@
+//! **Table 3** — clustered-attribute bucketing granularity vs. I/O cost.
+//!
+//! The paper buckets the SDSS table's clustered attribute (objID) from 1
+//! to 40 pages per bucket and runs SX6-style lookups on two `fieldID`
+//! values (well-correlated with objID): pages scanned grow slowly (96 →
+//! 160) and cost grows only by sequential I/O (15.34 → 19.5 ms), because
+//! clustered-bucket false positives never add seeks.
+
+use crate::datasets::{sdss_data, BenchScale, SDSS_TPP};
+use crate::report::{ms, Report};
+use cm_core::CmSpec;
+use cm_datagen::sdss::COL_FIELDID;
+use cm_query::{ExecContext, Pred, Query, Table};
+use cm_storage::{DiskSim, Value};
+
+/// Run the experiment.
+pub fn run(scale: BenchScale) -> Report {
+    let data = sdss_data(scale);
+    let bucket_pages: Vec<u64> = vec![1, 5, 10, 15, 20, 40];
+
+    let mut report = Report::new(
+        "tab3",
+        "Clustered bucketing granularity vs I/O cost (SDSS, 2-value fieldID lookup)",
+        "pages scanned grow mildly with bucket size (96→160 in the paper) and cost \
+         grows only by seq I/O (~15.3→19.5 ms): wider clustered buckets add no seeks",
+        vec!["pages/bucket", "pages scanned", "seeks", "IO cost"],
+    );
+
+    let q = Query::single(Pred::is_in(
+        COL_FIELDID,
+        vec![Value::Int(60), Value::Int(170)],
+    ));
+
+    let mut first_cost = None;
+    let mut last_cost = 0.0;
+    for &bp in &bucket_pages {
+        let disk = DiskSim::with_defaults();
+        let mut table = Table::build(
+            &disk,
+            data.schema.clone(),
+            data.rows.clone(),
+            SDSS_TPP,
+            cm_datagen::sdss::COL_OBJID,
+            bp * SDSS_TPP as u64,
+        )
+        .expect("rows conform");
+        let cm = table.add_cm("fieldID_cm", CmSpec::single_raw(COL_FIELDID));
+        disk.reset();
+        let ctx = ExecContext::cold(&disk);
+        let r = table.exec_cm_scan(&ctx, cm, &q);
+        if first_cost.is_none() {
+            first_cost = Some(r.ms());
+        }
+        last_cost = r.ms();
+        report.push(
+            bp.to_string(),
+            vec![
+                (r.io.seeks + r.io.seq_reads).to_string(),
+                r.io.seeks.to_string(),
+                ms(r.ms()),
+            ],
+        );
+    }
+
+    report.commentary = format!(
+        "40-page buckets cost {:.1}% more than 1-page buckets — the paper's Table 3 \
+         shows the same insensitivity (a ~10-page bucket is the sweet spot)",
+        100.0 * (last_cost / first_cost.unwrap_or(1.0) - 1.0)
+    );
+    report
+}

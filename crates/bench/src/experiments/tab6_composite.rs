@@ -1,0 +1,114 @@
+//! **Table 6 / Experiment 5** — single vs. composite CMs vs. a composite
+//! B+Tree for an SDSS two-range query.
+//!
+//! The paper's query (a variant of SDSS Q2) ranges over both `ra` and
+//! `dec` with a `g + rho` residual. Neither coordinate alone predicts
+//! the clustered `objID`, but the pair does: `CM(ra)` 4.0 s, `CM(dec)`
+//! 1.7 s, `B+Tree(ra, dec)` 1.12 s (prefix-only), `CM(ra, dec)` 0.21 s
+//! at 0.7 MB vs the B+Tree's 542 MB.
+
+use crate::datasets::{sdss_data, sdss_table, BenchScale};
+use crate::report::{bytes, ms, Report};
+use cm_core::{BucketSpec, CmAttr, CmSpec};
+use cm_datagen::sdss::{COL_DEC, COL_G, COL_OBJID, COL_RA, COL_RHO};
+use cm_query::{ExecContext, Pred, Query};
+use cm_storage::DiskSim;
+
+/// Run the experiment.
+pub fn run(scale: BenchScale) -> Report {
+    let data = sdss_data(scale);
+    let disk = DiskSim::with_defaults();
+    let mut table = sdss_table(&disk, &data, COL_OBJID);
+
+    // The paper's Q2 variant: 1.4° of ra, 0.144° of dec, g+rho residual.
+    let q = Query::new(vec![
+        Pred::between(COL_RA, 193.117, 194.517),
+        Pred::between(COL_DEC, 1.411, 1.555),
+    ]);
+    let residual = |row: &[cm_storage::Value]| {
+        let s = row[COL_G].as_float().unwrap_or(0.0) + row[COL_RHO].as_float().unwrap_or(0.0);
+        (23.0..=25.0).contains(&s)
+    };
+
+    // Index designs, bucketed per the paper's Table 6 labels.
+    let cm_ra = table.add_cm(
+        "cm_ra",
+        CmSpec::new(vec![CmAttr { col: COL_RA, bucket: BucketSpec::covering(0.0, 360.0, 1 << 12) }]),
+    );
+    let cm_dec = table.add_cm(
+        "cm_dec",
+        CmSpec::new(vec![CmAttr {
+            col: COL_DEC,
+            bucket: BucketSpec::covering(-10.0, 10.0, 1 << 14),
+        }]),
+    );
+    // The composite grid is chosen so occupied cells hold ~10 objects
+    // (the paper's 20M-row table reaches that density at 2^14 x 2^16;
+    // at 200k rows the same *density* needs a coarser grid — what
+    // matters is that pair-count, not row-count, bounds the CM size).
+    let cm_pair = table.add_cm(
+        "cm_ra_dec",
+        CmSpec::new(vec![
+            CmAttr { col: COL_RA, bucket: BucketSpec::covering(0.0, 360.0, 512) },
+            CmAttr { col: COL_DEC, bucket: BucketSpec::covering(-10.0, 10.0, 40) },
+        ]),
+    );
+    let bt_pair = table.add_secondary(&disk, "btree_ra_dec", vec![COL_RA, COL_DEC]);
+
+    let mut report = Report::new(
+        "tab6",
+        "Single vs composite CMs vs composite B+Tree (SDSS ra/dec range query)",
+        "CM(ra) worst, CM(dec) middling, composite B+Tree limited to its ra prefix, \
+         composite CM fastest at ~1/800th the B+Tree size",
+        vec!["index", "runtime", "size", "matched (g+rho filtered)"],
+    );
+
+    let mut results: Vec<(String, f64, u64)> = Vec::new();
+    for (label, cm_id) in [("CM(ra)", cm_ra), ("CM(dec)", cm_dec), ("CM(ra,dec)", cm_pair)] {
+        disk.reset();
+        let ctx = ExecContext::cold(&disk);
+        let mut matched = 0u64;
+        table.exec_cm_scan_visit(&ctx, cm_id, &q, |row| {
+            if residual(row) {
+                matched += 1;
+            }
+        });
+        let elapsed = disk.stats().elapsed_ms;
+        let size = table.cm(cm_id).size_bytes();
+        results.push((label.to_string(), elapsed, size));
+        report.push(label, vec![ms(elapsed), bytes(size), matched.to_string()]);
+    }
+    {
+        disk.reset();
+        let ctx = ExecContext::cold(&disk);
+        let mut matched = 0u64;
+        table.exec_secondary_sorted_visit(&ctx, bt_pair, &q, |row| {
+            if residual(row) {
+                matched += 1;
+            }
+        });
+        let elapsed = disk.stats().elapsed_ms;
+        let size = table.secondary(bt_pair).size_bytes();
+        results.push(("B+Tree(ra,dec)".into(), elapsed, size));
+        report.push(
+            "B+Tree(ra,dec)",
+            vec![ms(elapsed), bytes(size), matched.to_string()],
+        );
+    }
+
+    let pair = &results[2];
+    let ra_only = &results[0];
+    let btree = &results[3];
+    // Floor the composite's time at one seek when it proved emptiness from
+    // memory alone (possible at tiny scales).
+    let pair_ms = pair.1.max(5.5);
+    report.commentary = format!(
+        "composite CM is {:.0}x faster than CM(ra) and {:.1}x faster than the composite \
+         B+Tree, at {:.0}x smaller size — the paper's ordering (CM(ra) > CM(dec) > \
+         B+Tree(ra,dec) > CM(ra,dec))",
+        ra_only.1 / pair_ms,
+        btree.1 / pair_ms,
+        btree.2 as f64 / pair.2.max(1) as f64,
+    );
+    report
+}

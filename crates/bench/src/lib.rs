@@ -1,0 +1,20 @@
+//! # cm-bench
+//!
+//! Experiment harness reproducing **every table and figure** of the
+//! paper's evaluation (§3.3–§3.4 and §7), on the simulated disk with the
+//! paper's Table 1 cost constants. Each experiment is a library function
+//! returning a [`Report`] (so integration tests can smoke-run it at tiny
+//! scale) plus a thin binary (`cargo run --release -p cm-bench --bin
+//! fig3_shipdate_lookups`). `--bin all_experiments` runs the suite and
+//! writes `EXPERIMENTS.md` with paper-vs-measured commentary.
+//!
+//! Absolute times differ from the paper (their substrate is PostgreSQL on
+//! a 2009 SATA disk; ours is a simulator at reduced data scale) — the
+//! *shapes* are the reproduction target: who wins, by what factor, and
+//! where the crossovers and knees fall.
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;
+
+pub use report::{Report, Row};

@@ -1,0 +1,272 @@
+//! Clustered-attribute bucketing (paper §6.1.1).
+//!
+//! A many-valued clustered key would blow up the CM (each unclustered
+//! value maps to many clustered values) and the rewritten queries (huge
+//! `IN` lists). The paper's fix is a *bucket ID column*: during the
+//! statistics scan, tuples are assigned to buckets of roughly `b` tuples,
+//! extending each bucket until the clustered value changes so that **no
+//! clustered value is split across buckets**. CMs then map unclustered
+//! keys to bucket IDs, and a bucket resolves to one contiguous page range
+//! — false positives cost only sequential I/O (Table 3).
+
+use cm_storage::{HeapFile, Rid};
+
+/// The bucket-ID assignment over a clustered heap.
+#[derive(Debug, Clone)]
+pub struct BucketDirectory {
+    /// `starts[i]` is the first RID of bucket `i`; bucket `i` covers
+    /// `[starts[i], starts[i+1])` with the last bucket ending at
+    /// `heap_len`.
+    starts: Vec<u64>,
+    heap_len: u64,
+    tups_per_page: usize,
+    target: u64,
+}
+
+impl BucketDirectory {
+    /// Build over a heap clustered on `col`, targeting `b` tuples per
+    /// bucket (paper: "assigning tuples to bucket i ... once it has read
+    /// b tuples ... continues until the value of the clustered attribute
+    /// is no longer v").
+    pub fn build(heap: &HeapFile, col: usize, target_tuples_per_bucket: u64) -> Self {
+        assert!(target_tuples_per_bucket > 0, "bucket target must be positive");
+        let b = target_tuples_per_bucket;
+        let mut starts = Vec::new();
+        let mut in_bucket = 0u64;
+        let mut boundary_value: Option<cm_storage::Value> = None;
+        for (rid, row) in heap.iter() {
+            if starts.is_empty() {
+                starts.push(rid.0);
+                in_bucket = 0;
+            }
+            let v = &row[col];
+            if let Some(bv) = &boundary_value {
+                // We are past the b-th tuple, waiting for the value to
+                // change before closing the bucket.
+                if v != bv {
+                    starts.push(rid.0);
+                    in_bucket = 0;
+                    boundary_value = None;
+                }
+            }
+            in_bucket += 1;
+            if in_bucket == b && boundary_value.is_none() {
+                boundary_value = Some(v.clone());
+            }
+        }
+        BucketDirectory {
+            starts,
+            heap_len: heap.len(),
+            tups_per_page: heap.tups_per_page(),
+            target: b,
+        }
+    }
+
+    /// A directory with exactly one bucket per page — the degenerate
+    /// configuration used when comparing bucket sizes (Table 3, row 1).
+    pub fn per_page(heap: &HeapFile, col: usize) -> Self {
+        Self::build(heap, col, heap.tups_per_page() as u64)
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> u32 {
+        self.starts.len() as u32
+    }
+
+    /// Target tuples per bucket this directory was built with.
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// The bucket containing a RID.
+    ///
+    /// # Panics
+    /// Panics if the directory is empty or `rid` precedes the first
+    /// bucket.
+    pub fn bucket_of(&self, rid: Rid) -> u32 {
+        debug_assert!(rid.0 < self.heap_len, "rid within heap");
+        (self.starts.partition_point(|&s| s <= rid.0) - 1) as u32
+    }
+
+    /// RID range `[start, end)` of a bucket.
+    pub fn rid_range(&self, bucket: u32) -> (u64, u64) {
+        let i = bucket as usize;
+        let start = self.starts[i];
+        let end = self.starts.get(i + 1).copied().unwrap_or(self.heap_len);
+        (start, end)
+    }
+
+    /// Inclusive page range a bucket occupies.
+    pub fn page_range(&self, bucket: u32) -> (u64, u64) {
+        let (start, end) = self.rid_range(bucket);
+        let tpp = self.tups_per_page as u64;
+        (start / tpp, (end - 1) / tpp)
+    }
+
+    /// Average heap pages per bucket — the `pages_per_group` input of the
+    /// CM cost model.
+    pub fn avg_pages_per_bucket(&self) -> f64 {
+        if self.num_buckets() == 0 {
+            return 0.0;
+        }
+        let total_pages: u64 = (0..self.num_buckets())
+            .map(|b| {
+                let (lo, hi) = self.page_range(b);
+                hi - lo + 1
+            })
+            .sum();
+        total_pages as f64 / self.num_buckets() as f64
+    }
+
+    /// Register a heap append. Appended tuples extend the final bucket
+    /// until it reaches the target size, then open fresh tail buckets —
+    /// clustering degrades at the tail, exactly as for a once-`CLUSTER`ed
+    /// table, but every RID keeps a valid bucket.
+    pub fn note_append(&mut self, rid: Rid) {
+        debug_assert_eq!(rid.0, self.heap_len, "appends are sequential");
+        if self.starts.is_empty() {
+            self.starts.push(rid.0);
+        } else {
+            let last_start = *self.starts.last().expect("non-empty");
+            if rid.0 - last_start >= self.target {
+                self.starts.push(rid.0);
+            }
+        }
+        self.heap_len = rid.0 + 1;
+    }
+
+    /// Total rows covered.
+    pub fn heap_len(&self) -> u64 {
+        self.heap_len
+    }
+
+    /// Iterate bucket ids with their RID ranges.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, (u64, u64))> + '_ {
+        (0..self.num_buckets()).map(|b| (b, self.rid_range(b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_storage::{Column, DiskSim, Schema, Value, ValueType};
+    use std::sync::Arc;
+
+    fn heap_with_keys(disk: &DiskSim, keys: &[i64], tpp: usize) -> HeapFile {
+        let schema = Arc::new(Schema::new(vec![Column::new("k", ValueType::Int)]));
+        let rows = keys.iter().map(|&k| vec![Value::Int(k)]).collect();
+        HeapFile::bulk_load(disk, schema, rows, tpp).unwrap()
+    }
+
+    #[test]
+    fn buckets_respect_target_size() {
+        let disk = DiskSim::with_defaults();
+        // 100 distinct values, one tuple each.
+        let keys: Vec<i64> = (0..100).collect();
+        let heap = heap_with_keys(&disk, &keys, 10);
+        let dir = BucketDirectory::build(&heap, 0, 10);
+        assert_eq!(dir.num_buckets(), 10);
+        for (b, (lo, hi)) in dir.iter() {
+            assert_eq!(hi - lo, 10, "bucket {b} has exactly the target size");
+        }
+    }
+
+    #[test]
+    fn clustered_values_are_never_split() {
+        let disk = DiskSim::with_defaults();
+        // Runs of 7 equal values; target 10 forces boundary stretching.
+        let keys: Vec<i64> = (0..210).map(|i| i / 7).collect();
+        let heap = heap_with_keys(&disk, &keys, 10);
+        let dir = BucketDirectory::build(&heap, 0, 10);
+        for (_, (lo, hi)) in dir.iter() {
+            // A bucket boundary must coincide with a value change.
+            if lo > 0 {
+                let before = heap.peek(Rid(lo - 1)).unwrap()[0].clone();
+                let first = heap.peek(Rid(lo)).unwrap()[0].clone();
+                assert_ne!(before, first, "bucket boundary inside a value run");
+            }
+            assert!(hi > lo);
+        }
+    }
+
+    #[test]
+    fn one_giant_value_forms_one_giant_bucket() {
+        let disk = DiskSim::with_defaults();
+        let keys = vec![42i64; 1000];
+        let heap = heap_with_keys(&disk, &keys, 10);
+        let dir = BucketDirectory::build(&heap, 0, 50);
+        assert_eq!(dir.num_buckets(), 1, "cannot split the single value");
+        assert_eq!(dir.rid_range(0), (0, 1000));
+    }
+
+    #[test]
+    fn bucket_of_is_inverse_of_rid_range() {
+        let disk = DiskSim::with_defaults();
+        let keys: Vec<i64> = (0..500).map(|i| i / 3).collect();
+        let heap = heap_with_keys(&disk, &keys, 16);
+        let dir = BucketDirectory::build(&heap, 0, 20);
+        for (b, (lo, hi)) in dir.iter() {
+            assert_eq!(dir.bucket_of(Rid(lo)), b);
+            assert_eq!(dir.bucket_of(Rid(hi - 1)), b);
+        }
+    }
+
+    #[test]
+    fn page_ranges_are_contiguous_and_cover_heap() {
+        let disk = DiskSim::with_defaults();
+        let keys: Vec<i64> = (0..1000).map(|i| i / 4).collect();
+        let heap = heap_with_keys(&disk, &keys, 25);
+        let dir = BucketDirectory::build(&heap, 0, 100);
+        let (first_lo, _) = dir.page_range(0);
+        assert_eq!(first_lo, 0);
+        let (_, last_hi) = dir.page_range(dir.num_buckets() - 1);
+        assert_eq!(last_hi, heap.num_pages() - 1);
+    }
+
+    #[test]
+    fn avg_pages_tracks_target() {
+        let disk = DiskSim::with_defaults();
+        let keys: Vec<i64> = (0..10_000).collect();
+        let heap = heap_with_keys(&disk, &keys, 100);
+        // Target 1000 tuples/bucket = 10 pages/bucket (the §6.1.1 sweet
+        // spot).
+        let dir = BucketDirectory::build(&heap, 0, 1000);
+        let avg = dir.avg_pages_per_bucket();
+        assert!((9.0..=11.0).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn appends_extend_then_open_buckets() {
+        let disk = DiskSim::with_defaults();
+        let keys: Vec<i64> = (0..95).collect();
+        let heap = heap_with_keys(&disk, &keys, 10);
+        let mut dir = BucketDirectory::build(&heap, 0, 50);
+        let before = dir.num_buckets();
+        // Five appends top off the trailing bucket (45 → 50)...
+        for r in 95..100 {
+            dir.note_append(Rid(r));
+        }
+        assert_eq!(dir.num_buckets(), before);
+        // ...the next append opens a new bucket.
+        dir.note_append(Rid(100));
+        assert_eq!(dir.num_buckets(), before + 1);
+        assert_eq!(dir.bucket_of(Rid(100)), dir.num_buckets() - 1);
+    }
+
+    #[test]
+    fn per_page_directory_matches_page_count() {
+        let disk = DiskSim::with_defaults();
+        let keys: Vec<i64> = (0..300).collect();
+        let heap = heap_with_keys(&disk, &keys, 30);
+        let dir = BucketDirectory::per_page(&heap, 0);
+        assert_eq!(dir.num_buckets() as u64, heap.num_pages());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket target must be positive")]
+    fn zero_target_rejected() {
+        let disk = DiskSim::with_defaults();
+        let heap = heap_with_keys(&disk, &[1, 2, 3], 2);
+        BucketDirectory::build(&heap, 0, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # cm-core
+//!
+//! The primary contribution of *"Correlation Maps: A Compressed Access
+//! Method for Exploiting Soft Functional Dependencies"* (Kimura, Huo,
+//! Rasin, Madden, Zdonik — VLDB 2009), implemented from scratch.
+//!
+//! A **Correlation Map** (CM) over an unclustered attribute `Au` of a
+//! table clustered on `Ac` is a mapping `u → S_c` from each distinct
+//! (optionally bucketed) value of `Au` to the set of clustered values —
+//! here, clustered *buckets* — that co-occur with it, together with
+//! co-occurrence counts to support deletion (paper, Algorithm 1). Because
+//! it stores one entry per distinct **value pair** instead of per
+//! **tuple**, a CM is up to three orders of magnitude smaller than the
+//! secondary B+Tree it replaces, small enough to stay memory-resident,
+//! which is what makes maintaining many of them cheap (Experiment 3).
+//!
+//! The crate provides:
+//!
+//! * [`BucketSpec`] / [`CmKeyPart`] — value bucketing for many-valued
+//!   attributes (§5.4, §6.1.2): truncation to equi-width ranges, storing
+//!   only lower bounds.
+//! * [`BucketDirectory`] — clustered-attribute bucketing (§6.1.1): the
+//!   scan-time assignment of ~`b` tuples per bucket that never splits one
+//!   clustered value across buckets.
+//! * [`CmSpec`] — a (possibly composite, §6.1.3) CM key definition.
+//! * [`CorrelationMap`] — build, probe (`cm_lookup`), and maintain
+//!   (insert/delete with co-occurrence counts) the map itself.
+
+pub mod bucket;
+pub mod cdir;
+pub mod cmap;
+pub mod spec;
+
+pub use bucket::{BucketSpec, CmKey, CmKeyPart};
+pub use cdir::BucketDirectory;
+pub use cmap::{AttrConstraint, CorrelationMap};
+pub use spec::{CmAttr, CmSpec};

@@ -1,0 +1,110 @@
+//! CM key specifications (single-attribute and composite, §6.1.3).
+
+use crate::bucket::{BucketSpec, CmKey};
+use cm_storage::Value;
+
+/// One attribute of a CM key: which column it reads and how it buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmAttr {
+    /// Column position in the table schema.
+    pub col: usize,
+    /// Bucketing applied to the column's values.
+    pub bucket: BucketSpec,
+}
+
+impl CmAttr {
+    /// Unbucketed attribute.
+    pub fn raw(col: usize) -> Self {
+        CmAttr { col, bucket: BucketSpec::None }
+    }
+
+    /// Attribute bucketed by truncation to `2^level`.
+    pub fn pow2(col: usize, level: u32) -> Self {
+        CmAttr { col, bucket: BucketSpec::pow2(level) }
+    }
+}
+
+/// The (possibly composite) key definition of a CM.
+///
+/// Composite CMs matter when a *pair* of attributes determines the
+/// clustered value far better than either alone — the paper's
+/// `(longitude, latitude) → zipcode` and Experiment 5's
+/// `(ra, dec) → objID`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmSpec {
+    attrs: Vec<CmAttr>,
+}
+
+impl CmSpec {
+    /// A spec over the given attributes (at least one).
+    pub fn new(attrs: Vec<CmAttr>) -> Self {
+        assert!(!attrs.is_empty(), "a CM key needs at least one attribute");
+        CmSpec { attrs }
+    }
+
+    /// Single-attribute unbucketed spec.
+    pub fn single_raw(col: usize) -> Self {
+        Self::new(vec![CmAttr::raw(col)])
+    }
+
+    /// Single-attribute spec with pow2 bucketing.
+    pub fn single_pow2(col: usize, level: u32) -> Self {
+        Self::new(vec![CmAttr::pow2(col, level)])
+    }
+
+    /// The key attributes in order.
+    pub fn attrs(&self) -> &[CmAttr] {
+        &self.attrs
+    }
+
+    /// Number of key attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Columns read by this spec, in key order.
+    pub fn cols(&self) -> Vec<usize> {
+        self.attrs.iter().map(|a| a.col).collect()
+    }
+
+    /// Compute the CM key of a row.
+    pub fn key_of(&self, row: &[Value]) -> CmKey {
+        self.attrs.iter().map(|a| a.bucket.key_part(&row[a.col])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::CmKeyPart;
+
+    #[test]
+    fn key_projection_and_bucketing() {
+        // row = (id, city, price)
+        let row = vec![Value::Int(7), Value::str("boston"), Value::Int(5000)];
+        let spec = CmSpec::new(vec![CmAttr::raw(1), CmAttr::pow2(2, 12)]);
+        let key = spec.key_of(&row);
+        assert_eq!(
+            key.as_ref(),
+            &[CmKeyPart::Raw(Value::str("boston")), CmKeyPart::Bucket(1)]
+        );
+        assert_eq!(spec.cols(), vec![1, 2]);
+        assert_eq!(spec.arity(), 2);
+    }
+
+    #[test]
+    fn equal_rows_make_equal_keys() {
+        let spec = CmSpec::single_pow2(0, 4);
+        let a = spec.key_of(&[Value::Int(17)]);
+        let b = spec.key_of(&[Value::Int(31)]);
+        assert_eq!(a, b, "17 and 31 share bucket 1 at width 16");
+        let c = spec.key_of(&[Value::Int(32)]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_spec_rejected() {
+        CmSpec::new(vec![]);
+    }
+}

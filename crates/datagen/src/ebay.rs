@@ -1,0 +1,331 @@
+//! eBay hierarchical catalog generator (paper §7.1.1, "Hierarchical
+//! Data").
+//!
+//! The paper's dataset: 24,000 categories in a hierarchy of up to 6
+//! levels, 500–3,000 items per category (43M rows), category median
+//! prices uniform in $0–$1M, item prices Gaussian (σ = $100) around the
+//! median — "thus, there exists a strong (but not exact) correlation
+//! between Price and CATID". Schema:
+//!
+//! ```text
+//! ITEMS(CATID, CAT1, CAT2, CAT3, CAT4, CAT5, CAT6, ItemID, Price)
+//! ```
+//!
+//! This generator reproduces the hierarchy shape (geometric branching to
+//! depth 6), the per-category price model, and the category-path string
+//! columns, at configurable scale.
+
+use cm_storage::{Column, Row, Schema, Value, ValueType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr_normal::sample_normal;
+use std::sync::Arc;
+
+/// Column index of `CATID`.
+pub const COL_CATID: usize = 0;
+/// Column index of `CAT1` (levels 1–6 are columns 1–6).
+pub const COL_CAT1: usize = 1;
+/// Column index of `CAT5` (used by Experiment 4's `CAT5 = X` query).
+pub const COL_CAT5: usize = 5;
+/// Column index of `ItemID`.
+pub const COL_ITEMID: usize = 7;
+/// Column index of `Price`.
+pub const COL_PRICE: usize = 8;
+
+/// Scale and randomness knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EbayConfig {
+    /// Number of leaf categories (paper: 24,000).
+    pub categories: usize,
+    /// Minimum items per category (paper: 500).
+    pub min_items: usize,
+    /// Maximum items per category (paper: 3,000).
+    pub max_items: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EbayConfig {
+    fn default() -> Self {
+        // ~2,400 categories × ~20 items ≈ 48k rows: the paper's shape at
+        // 1/1000 scale, sized for the simulated disk.
+        EbayConfig { categories: 2_400, min_items: 8, max_items: 32, seed: 0xEBA1 }
+    }
+}
+
+/// A generated catalog.
+pub struct EbayData {
+    /// `ITEMS` schema.
+    pub schema: Arc<Schema>,
+    /// Item rows (unclustered; cluster on load).
+    pub rows: Vec<Row>,
+    /// Per-category path names, indexed by CATID (level → name; `None`
+    /// below the category's depth).
+    pub category_paths: Vec<[Option<Arc<str>>; 6]>,
+    /// Per-category price medians, indexed by CATID.
+    pub medians: Vec<i64>,
+    /// Next unused ItemID (continuation point for insert batches).
+    pub next_item_id: i64,
+    config: EbayConfig,
+}
+
+/// The `ITEMS` schema.
+pub fn schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        Column::new("CATID", ValueType::Int),
+        Column::new("CAT1", ValueType::Str),
+        Column::new("CAT2", ValueType::Str),
+        Column::new("CAT3", ValueType::Str),
+        Column::new("CAT4", ValueType::Str),
+        Column::new("CAT5", ValueType::Str),
+        Column::new("CAT6", ValueType::Str),
+        Column::new("ItemID", ValueType::Int),
+        Column::new("Price", ValueType::Int),
+    ]))
+}
+
+/// Branching factors that take one root to ~24 leaves over 6 levels —
+/// scaled by the category count to keep the hierarchy shape.
+const BRANCHING: [usize; 6] = [30, 5, 4, 4, 3, 2];
+
+/// Deterministic category-path names: level-tagged numeric segments
+/// ("antiques → architectural → hardware → locks & keys" becomes
+/// "L1-00007 → L2-00003 → …"), preserving exactly what the experiments
+/// use the names for: equality predicates per level whose values map to
+/// a controlled number of CATIDs. Level cardinalities grow with depth
+/// (CAT1 is ~30 top groups; CAT5/CAT6 names repeat across a handful of
+/// categories, like "locks & keys" appearing under many parents), and a
+/// minority of CAT5 names are deliberately hot so Experiment 4 can pick
+/// predicate values spanning a wide range of `c_per_u` (the paper tests
+/// values with c_per_u from 4 to 145).
+fn path_of(catid: usize, categories: usize) -> [Option<Arc<str>>; 6] {
+    // Depth: most categories are deep, some stop early (max 6 levels).
+    let depth = 3 + (catid % 4); // 3..=6
+    let mut segments: [Option<Arc<str>>; 6] = Default::default();
+    for (lvl, seg) in segments.iter_mut().enumerate().take(depth.min(6)) {
+        // Effective distinct names at this level.
+        let ecard = match lvl {
+            0 => BRANCHING[0].min(categories),                 // ~30 groups
+            1 => (categories / 16).clamp(1, 150),              // coarse
+            2 => (categories / 8).max(1),                      // ~8 catids/name
+            3 => (categories / 6).max(1),
+            4 => (categories / 4).max(1),                      // ~4 catids/name
+            _ => (categories / 2).max(1),                      // near-unique
+        };
+        let r = catid % ecard;
+        let id = if lvl == 4 && r < ecard / 4 {
+            // Hot CAT5 band with *graded* coverage: after a scattering
+            // permutation, name `sqrt(r')` covers the quadratic band
+            // [k^2, (k+1)^2), so hot names span 4 to ~150 *scattered*
+            // categories — Experiment 4 needs predicate values with
+            // c_per_u across exactly that range (the paper tests 4..145).
+            let band = (ecard / 4).max(1);
+            let rp = (r * 7919) % band;
+            1_000_000 + (rp as f64).sqrt() as usize
+        } else {
+            r
+        };
+        *seg = Some(Arc::from(format!("L{}-{:05}", lvl + 1, id)));
+    }
+    segments
+}
+
+/// Generate the catalog.
+pub fn ebay(config: EbayConfig) -> EbayData {
+    assert!(config.categories > 0 && config.min_items <= config.max_items);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = schema();
+    let mut category_paths = Vec::with_capacity(config.categories);
+    let mut medians = Vec::with_capacity(config.categories);
+    for catid in 0..config.categories {
+        category_paths.push(path_of(catid, config.categories));
+        medians.push(rng.gen_range(0..1_000_000i64));
+    }
+    let mut rows = Vec::new();
+    let mut item_id = 0i64;
+    for catid in 0..config.categories {
+        let n = rng.gen_range(config.min_items..=config.max_items);
+        for _ in 0..n {
+            rows.push(make_row(&mut rng, catid, &category_paths, &medians, item_id));
+            item_id += 1;
+        }
+    }
+    EbayData { schema, rows, category_paths, medians, next_item_id: item_id, config }
+}
+
+fn make_row(
+    rng: &mut StdRng,
+    catid: usize,
+    paths: &[[Option<Arc<str>>; 6]],
+    medians: &[i64],
+    item_id: i64,
+) -> Row {
+    let price = (medians[catid] as f64 + sample_normal(rng) * 100.0).max(0.0) as i64;
+    let mut row = Vec::with_capacity(9);
+    row.push(Value::Int(catid as i64));
+    for seg in &paths[catid] {
+        row.push(match seg {
+            Some(s) => Value::Str(s.clone()),
+            None => Value::Null,
+        });
+    }
+    row.push(Value::Int(item_id));
+    row.push(Value::Int(price));
+    row
+}
+
+impl EbayData {
+    /// Generate a batch of `n` fresh insert rows (random categories, new
+    /// ItemIDs) for the maintenance experiments.
+    pub fn insert_batch(&mut self, n: usize, seed: u64) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ seed);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let catid = rng.gen_range(0..self.category_paths.len());
+            out.push(make_row(
+                &mut rng,
+                catid,
+                &self.category_paths,
+                &self.medians,
+                self.next_item_id,
+            ));
+            self.next_item_id += 1;
+        }
+        out
+    }
+
+    /// A `(column, value)` pair predicating one hierarchy level, for the
+    /// Experiment 3 mixed workload (`SELECT AVG(Price) ... WHERE CATX=X`).
+    pub fn random_cat_predicate(&self, seed: u64) -> (usize, Value) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        loop {
+            let catid = rng.gen_range(0..self.category_paths.len());
+            let level = rng.gen_range(0..6);
+            if let Some(name) = &self.category_paths[catid][level] {
+                return (COL_CAT1 + level, Value::Str(name.clone()));
+            }
+        }
+    }
+}
+
+/// Box–Muller standard normal, local so the crate needs no extra
+/// dependency features.
+mod rand_distr_normal {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// One standard-normal sample.
+    pub fn sample_normal(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_stats::correlation_stats;
+
+    fn small() -> EbayData {
+        ebay(EbayConfig { categories: 300, min_items: 5, max_items: 15, seed: 7 })
+    }
+
+    #[test]
+    fn rows_conform_to_schema() {
+        let d = small();
+        for row in d.rows.iter().take(500) {
+            d.schema.validate(row).unwrap();
+        }
+        assert!(d.rows.len() >= 300 * 5);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = ebay(EbayConfig { categories: 50, min_items: 2, max_items: 4, seed: 1 });
+        let b = ebay(EbayConfig { categories: 50, min_items: 2, max_items: 4, seed: 1 });
+        assert_eq!(a.rows, b.rows);
+        let c = ebay(EbayConfig { categories: 50, min_items: 2, max_items: 4, seed: 2 });
+        assert_ne!(a.rows, c.rows);
+    }
+
+    #[test]
+    fn price_catid_soft_fd_holds() {
+        // The paper's premise: price strongly (softly) determines CATID.
+        // Bucket price by 4096 and measure c_per_u against CATID.
+        let d = small();
+        let bucketed: Vec<(Value, Value)> = d
+            .rows
+            .iter()
+            .map(|r| {
+                (Value::Int(r[COL_PRICE].as_int().unwrap() / 4096), r[COL_CATID].clone())
+            })
+            .collect();
+        let s = correlation_stats(bucketed.iter().map(|(u, c)| (u, c)));
+        // 300 categories over 1M prices: ~1.2 categories per 4096-bucket
+        // in expectation; far below the ~300 an uncorrelated column gives.
+        assert!(s.c_per_u < 6.0, "c_per_u {}", s.c_per_u);
+    }
+
+    #[test]
+    fn cat_levels_have_decreasing_cardinality() {
+        let d = small();
+        let distinct = |col: usize| {
+            let mut set = std::collections::HashSet::new();
+            for r in &d.rows {
+                if let Some(s) = r[col].as_str() {
+                    set.insert(s.to_string());
+                }
+            }
+            set.len()
+        };
+        let c1 = distinct(COL_CAT1);
+        let c3 = distinct(3);
+        assert!(c1 < c3, "CAT1 ({c1}) coarser than CAT3 ({c3})");
+        assert!(c1 <= 30);
+    }
+
+    #[test]
+    fn item_ids_unique_and_dense() {
+        let d = small();
+        let mut ids: Vec<i64> =
+            d.rows.iter().map(|r| r[COL_ITEMID].as_int().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), d.rows.len());
+        assert_eq!(ids[0], 0);
+        assert_eq!(*ids.last().unwrap(), d.rows.len() as i64 - 1);
+    }
+
+    #[test]
+    fn insert_batches_continue_item_ids() {
+        let mut d = small();
+        let n0 = d.next_item_id;
+        let batch = d.insert_batch(100, 42);
+        assert_eq!(batch.len(), 100);
+        assert_eq!(batch[0][COL_ITEMID], Value::Int(n0));
+        assert_eq!(d.next_item_id, n0 + 100);
+        for row in &batch {
+            d.schema.validate(row).unwrap();
+        }
+    }
+
+    #[test]
+    fn cat_predicates_reference_real_values() {
+        let d = small();
+        for seed in 0..20 {
+            let (col, v) = d.random_cat_predicate(seed);
+            assert!((COL_CAT1..=6).contains(&col));
+            assert!(
+                d.rows.iter().any(|r| r[col] == v),
+                "predicate ({col}, {v}) matches no rows"
+            );
+        }
+    }
+
+    #[test]
+    fn prices_are_nonnegative() {
+        let d = small();
+        assert!(d.rows.iter().all(|r| r[COL_PRICE].as_int().unwrap() >= 0));
+    }
+}

@@ -1,0 +1,30 @@
+//! # cm-datagen
+//!
+//! Deterministic generators for the paper's three evaluation datasets
+//! (§7.1.1). The originals (43M-row eBay listing dump, TPC-H SF3, the
+//! SDSS skyserver) are reproduced as synthetic equivalents with the same
+//! schemas, value domains, and — crucially — the same *correlation
+//! structure*, at a configurable scale suitable for the simulated disk:
+//!
+//! * [`ebay()`](ebay::ebay) — 6-level category hierarchy; `Price` is Gaussian around a
+//!   per-category median, giving the strong-but-soft `Price → CATID` FD
+//!   of Experiments 1–4.
+//! * [`tpch_lineitem()`](tpch::tpch_lineitem) — the `lineitem` table; `receiptdate` lags `shipdate` by a
+//!   few common gaps (the §3.3 correlation) and `suppkey` is moderately
+//!   correlated with `partkey` (each part has few suppliers).
+//! * [`sdss()`](sdss::sdss) — a `PhotoTag`-like sky table with 39 queryable attributes
+//!   in three correlation families (sky-position attributes, brightness
+//!   attributes, independent attributes), reproducing the structure that
+//!   makes Figure 2's per-clustering speedup profile and Experiment 5's
+//!   `(ra, dec) → objID` composite correlation.
+//!
+//! Every generator takes a seed and is fully deterministic, so all
+//! experiment outputs are reproducible bit-for-bit.
+
+pub mod ebay;
+pub mod sdss;
+pub mod tpch;
+
+pub use ebay::{ebay, EbayConfig, EbayData};
+pub use sdss::{sdss, SdssConfig, SdssData};
+pub use tpch::{tpch_lineitem, TpchConfig, TpchData};

@@ -1,0 +1,372 @@
+//! SDSS sky-survey generator (paper §7.1.1, "SDSS Data").
+//!
+//! The paper uses the desktop SkyServer `PhotoObj` (446 attributes, 200k
+//! tuples) and a widened `PhotoTag` copy. Its experiments need three
+//! statistical facts, all reproduced here:
+//!
+//! 1. **Figure 2**: 39 queryable attributes whose pairwise correlations
+//!    cluster into families, so that clustering the table on one
+//!    attribute accelerates queries on its correlated family (fieldID is
+//!    "highly correlated with 12 attributes"). We generate a
+//!    *sky-position* family (13 attributes derived from telescope scan
+//!    order), a *brightness* family (11 attributes driven by a luminosity
+//!    latent), and 15 independent attributes.
+//! 2. **Experiment 5 / Table 6**: `objID` is assigned in scan order
+//!    (stripes by declination, right ascension within a stripe), so the
+//!    *pair* `(ra, dec)` determines `objID`'s neighborhood tightly while
+//!    each coordinate alone is weak — `ra` scatters across every stripe.
+//! 3. **Table 3/4/5 (SX6)**: `fieldID` (251 values) is perfectly
+//!    correlated with `objID`; `mode`/`type` are few-valued; `psfMag_g`
+//!    is near-unique.
+
+use cm_storage::{Column, Row, Schema, Value, ValueType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Column index of `objID` (the default clustered attribute).
+pub const COL_OBJID: usize = 0;
+/// Column index of `ra` (right ascension, degrees).
+pub const COL_RA: usize = 1;
+/// Column index of `dec` (declination, degrees).
+pub const COL_DEC: usize = 2;
+/// Column index of `fieldID`.
+pub const COL_FIELDID: usize = 3;
+/// Column index of `mode` (3 values).
+pub const COL_MODE: usize = 14;
+/// Column index of `type` (5 values).
+pub const COL_TYPE: usize = 15;
+/// Column index of `psfMag_g` (near-unique float).
+pub const COL_PSFMAG_G: usize = 16;
+/// Column index of `g` (brightness magnitude, for the Q2 variant).
+pub const COL_G: usize = 25;
+/// Column index of `rho`.
+pub const COL_RHO: usize = 26;
+
+/// Scale and randomness knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SdssConfig {
+    /// Number of objects (paper: 200k base PhotoObj).
+    pub rows: usize,
+    /// Number of telescope fields (paper: fieldID has 251 values).
+    pub fields: usize,
+    /// Declination stripes in the scan pattern.
+    pub stripes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SdssConfig {
+    fn default() -> Self {
+        SdssConfig { rows: 200_000, fields: 251, stripes: 20, seed: 0x5D55 }
+    }
+}
+
+/// A generated sky table.
+pub struct SdssData {
+    /// The PhotoTag-like schema.
+    pub schema: Arc<Schema>,
+    /// Rows in `objID` order (scan order; already clustered on objID).
+    pub rows: Vec<Row>,
+    /// The 39 queryable column indices (everything except `objID`),
+    /// grouped position-family first, then brightness, then independent.
+    pub query_attrs: Vec<usize>,
+}
+
+/// Names of the position-family attributes (beyond ra/dec/fieldID) with
+/// their cardinalities: each is a monotone function of scan position plus
+/// mild noise — mutually correlated, like SDSS's run/field bookkeeping.
+const POSITION_ATTRS: [(&str, i64); 10] = [
+    ("run", 30),
+    ("rerun", 10),
+    ("camcol", 6),
+    ("field", 2000),
+    ("mjd", 500),
+    ("stripe", 25),
+    ("strip", 50),
+    ("segment", 120),
+    ("tile", 400),
+    ("chunk", 80),
+];
+
+/// Brightness-family float attributes (driven by a per-object luminosity
+/// latent, mutually correlated, independent of sky position). `psfMag_g`,
+/// `g`, and `rho` are part of this family.
+const BRIGHTNESS_ATTRS: [&str; 8] = [
+    "psfMag_u", "psfMag_r", "psfMag_i", "psfMag_z", "petroMag_r", "petroRad_r", "modelMag_r",
+    "fiberMag_r",
+];
+
+/// Independent attributes with their cardinalities (0 = continuous
+/// float): uncorrelated with everything, so clustering on them helps only
+/// their own queries.
+const INDEPENDENT_ATTRS: [(&str, i64); 13] = [
+    ("status", 16),
+    ("flags", 1024),
+    ("nChild", 12),
+    ("priTarget", 64),
+    ("insideMask", 8),
+    ("probPSF", 0),
+    ("extinction_r", 0),
+    ("mCr4_g", 0),
+    ("texture", 0),
+    ("lnLStar", 0),
+    ("lnLExp", 0),
+    ("fracDeV", 0),
+    ("sky_u", 0),
+];
+
+/// The PhotoTag-like schema: objID + 39 queryable attributes.
+pub fn schema() -> Arc<Schema> {
+    let mut cols = vec![
+        Column::new("objID", ValueType::Int),
+        Column::new("ra", ValueType::Float),
+        Column::new("dec", ValueType::Float),
+        Column::new("fieldID", ValueType::Int),
+    ];
+    for (name, _) in POSITION_ATTRS {
+        cols.push(Column::new(name, ValueType::Int));
+    }
+    cols.push(Column::new("mode", ValueType::Int));
+    cols.push(Column::new("type", ValueType::Int));
+    cols.push(Column::new("psfMag_g", ValueType::Float));
+    for name in BRIGHTNESS_ATTRS {
+        cols.push(Column::new(name, ValueType::Float));
+    }
+    cols.push(Column::new("g", ValueType::Float));
+    cols.push(Column::new("rho", ValueType::Float));
+    for (name, card) in INDEPENDENT_ATTRS {
+        cols.push(Column::new(
+            name,
+            if card == 0 { ValueType::Float } else { ValueType::Int },
+        ));
+    }
+    Arc::new(Schema::new(cols))
+}
+
+/// Generate the sky table.
+pub fn sdss(config: SdssConfig) -> SdssData {
+    assert!(config.rows > 0 && config.fields > 0 && config.stripes > 0);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = schema();
+    let per_stripe = config.rows.div_ceil(config.stripes);
+    let mut rows = Vec::with_capacity(config.rows);
+    for obj in 0..config.rows {
+        // Telescope scan order: stripe by declination, then right
+        // ascension within the stripe. objID IS the scan position.
+        let stripe = obj / per_stripe;
+        let within = obj % per_stripe;
+        let p = obj as f64 / config.rows as f64; // global scan fraction
+        let ra = 360.0 * (within as f64 / per_stripe as f64)
+            + rng.gen_range(-0.01..0.01f64);
+        let dec = -10.0 + stripe as f64 + rng.gen_range(0.0..1.0f64);
+        // Luminosity latent, independent of position.
+        let lum: f64 = rng.gen_range(0.0..1.0);
+
+        let mut row = Vec::with_capacity(schema.arity());
+        row.push(Value::Int(obj as i64));
+        row.push(Value::float(ra.clamp(0.0, 360.0)));
+        row.push(Value::float(dec));
+        row.push(Value::Int(((p * config.fields as f64) as i64).min(config.fields as i64 - 1)));
+        for (_, card) in POSITION_ATTRS {
+            // Monotone in scan position with ±1 jitter: highly correlated
+            // with objID and with each other.
+            let base = (p * card as f64) as i64;
+            let jitter = rng.gen_range(-1..=1i64);
+            row.push(Value::Int((base + jitter).clamp(0, card - 1)));
+        }
+        row.push(Value::Int(rng.gen_range(1..=3i64))); // mode
+        row.push(Value::Int(rng.gen_range(0..5i64) + if rng.gen_bool(0.3) { 1 } else { 0 })); // type, skewed
+        row.push(Value::float(14.0 + 10.0 * lum + rng.gen_range(-0.05..0.05)));
+        for i in 0..BRIGHTNESS_ATTRS.len() {
+            let spread = 0.2 + 0.1 * i as f64;
+            row.push(Value::float(12.0 + 12.0 * lum + rng.gen_range(-spread..spread)));
+        }
+        row.push(Value::float(14.0 + 10.0 * lum + rng.gen_range(-0.3..0.3))); // g
+        row.push(Value::float(8.0 + 4.0 * lum + rng.gen_range(-0.2..0.2))); // rho
+        for (_, card) in INDEPENDENT_ATTRS {
+            if card == 0 {
+                row.push(Value::float(rng.gen_range(0.0..100.0)));
+            } else {
+                row.push(Value::Int(rng.gen_range(0..card)));
+            }
+        }
+        rows.push(row);
+    }
+    let query_attrs: Vec<usize> = (1..schema.arity()).collect();
+    SdssData { schema, rows, query_attrs }
+}
+
+impl SdssData {
+    /// A `[lo, hi]` range over column `col` covering approximately `frac`
+    /// of the rows, positioned deterministically by `seed` — the "1%
+    /// selectivity predicate" of the Figure 2 benchmark.
+    pub fn selectivity_range(&self, col: usize, frac: f64, seed: u64) -> (Value, Value) {
+        let mut vals: Vec<&Value> = self.rows.iter().map(|r| &r[col]).collect();
+        vals.sort();
+        let window = ((self.rows.len() as f64 * frac) as usize).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = rng.gen_range(0..vals.len().saturating_sub(window).max(1));
+        (vals[start].clone(), vals[(start + window - 1).min(vals.len() - 1)].clone())
+    }
+
+    /// Index of a column by name.
+    pub fn col(&self, name: &str) -> usize {
+        self.schema.col_index(name).expect("known column")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_stats::{composite_correlation_stats, correlation_stats};
+
+    fn small() -> SdssData {
+        sdss(SdssConfig { rows: 20_000, fields: 251, stripes: 20, seed: 11 })
+    }
+
+    #[test]
+    fn schema_has_39_query_attrs() {
+        let d = small();
+        assert_eq!(d.query_attrs.len(), 39);
+        assert_eq!(d.schema.arity(), 40);
+        for row in d.rows.iter().take(100) {
+            d.schema.validate(row).unwrap();
+        }
+    }
+
+    #[test]
+    fn named_columns_resolve() {
+        let d = small();
+        assert_eq!(d.col("objID"), COL_OBJID);
+        assert_eq!(d.col("ra"), COL_RA);
+        assert_eq!(d.col("dec"), COL_DEC);
+        assert_eq!(d.col("fieldID"), COL_FIELDID);
+        assert_eq!(d.col("mode"), COL_MODE);
+        assert_eq!(d.col("type"), COL_TYPE);
+        assert_eq!(d.col("psfMag_g"), COL_PSFMAG_G);
+        assert_eq!(d.col("g"), COL_G);
+        assert_eq!(d.col("rho"), COL_RHO);
+    }
+
+    #[test]
+    fn fieldid_perfectly_determined_by_objid_order() {
+        let d = small();
+        // fieldID is monotone in objID: each fieldID is one contiguous
+        // run — c_per_u of (fieldID → coarse objID block) is tiny.
+        let blocks: Vec<(Value, Value)> = d
+            .rows
+            .iter()
+            .map(|r| {
+                (r[COL_FIELDID].clone(), Value::Int(r[COL_OBJID].as_int().unwrap() / 500))
+            })
+            .collect();
+        let s = correlation_stats(blocks.iter().map(|(u, c)| (u, c)));
+        assert!(s.c_per_u < 2.0, "c_per_u {}", s.c_per_u);
+    }
+
+    #[test]
+    fn ra_dec_pair_beats_each_alone() {
+        // Experiment 5's premise, measured on coarse buckets of each.
+        let d = small();
+        let block = |r: &Row| Value::Int(r[COL_OBJID].as_int().unwrap() / 200);
+        let rab = |r: &Row| (r[COL_RA].as_float().unwrap() / 5.0).floor() as i64;
+        let decb = |r: &Row| (r[COL_DEC].as_float().unwrap() / 0.25).floor() as i64;
+        let ra_only =
+            composite_correlation_stats(d.rows.iter().map(|r| (rab(r), block(r))));
+        let dec_only =
+            composite_correlation_stats(d.rows.iter().map(|r| (decb(r), block(r))));
+        let pair = composite_correlation_stats(
+            d.rows.iter().map(|r| ((rab(r), decb(r)), block(r))),
+        );
+        assert!(
+            pair.c_per_u < ra_only.c_per_u / 5.0,
+            "pair {} vs ra {}",
+            pair.c_per_u,
+            ra_only.c_per_u
+        );
+        assert!(pair.c_per_u < dec_only.c_per_u, "pair {} vs dec {}", pair.c_per_u, dec_only.c_per_u);
+    }
+
+    #[test]
+    fn position_family_mutually_correlated_brightness_not() {
+        let d = small();
+        let run = d.col("run");
+        let mjd = d.col("mjd");
+        let psf = COL_PSFMAG_G;
+        let s_pos = correlation_stats(d.rows.iter().map(|r| (&r[mjd], &r[run])));
+        // mjd (500 values) maps to ~1-2 runs each.
+        assert!(s_pos.c_per_u < 4.0, "position family c_per_u {}", s_pos.c_per_u);
+        // psfMag_g bucketed coarsely still scatters across runs.
+        let b: Vec<(Value, Value)> = d
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    Value::Int((r[psf].as_float().unwrap() * 2.0) as i64),
+                    r[run].clone(),
+                )
+            })
+            .collect();
+        let s_bright = correlation_stats(b.iter().map(|(u, c)| (u, c)));
+        assert!(s_bright.c_per_u > 10.0, "brightness vs run c_per_u {}", s_bright.c_per_u);
+    }
+
+    #[test]
+    fn brightness_family_mutually_correlated() {
+        let d = small();
+        let g = COL_G;
+        let psf = COL_PSFMAG_G;
+        // Bucket both to ~0.5-mag bins; g-bin maps to few psf-bins.
+        let b: Vec<(Value, Value)> = d
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    Value::Int((r[g].as_float().unwrap() * 2.0) as i64),
+                    Value::Int((r[psf].as_float().unwrap() * 2.0) as i64),
+                )
+            })
+            .collect();
+        let s = correlation_stats(b.iter().map(|(u, c)| (u, c)));
+        assert!(s.c_per_u < 4.0, "c_per_u {}", s.c_per_u);
+    }
+
+    #[test]
+    fn few_valued_attrs_have_expected_cardinality() {
+        let d = small();
+        let distinct = |col: usize| {
+            let mut s = std::collections::HashSet::new();
+            for r in &d.rows {
+                s.insert(r[col].clone());
+            }
+            s.len()
+        };
+        assert_eq!(distinct(COL_MODE), 3);
+        assert!(distinct(COL_TYPE) <= 6);
+        assert_eq!(distinct(COL_FIELDID), 251);
+        assert!(distinct(COL_PSFMAG_G) > d.rows.len() / 2, "psfMag_g near-unique");
+    }
+
+    #[test]
+    fn selectivity_range_hits_target() {
+        let d = small();
+        for (col, seed) in [(COL_PSFMAG_G, 1u64), (d.col("field"), 2), (COL_RA, 3)] {
+            let (lo, hi) = d.selectivity_range(col, 0.01, seed);
+            let hits = d
+                .rows
+                .iter()
+                .filter(|r| r[col] >= lo && r[col] <= hi)
+                .count() as f64
+                / d.rows.len() as f64;
+            assert!((0.005..0.05).contains(&hits), "col {col}: selectivity {hits}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = sdss(SdssConfig { rows: 500, fields: 50, stripes: 5, seed: 2 });
+        let b = sdss(SdssConfig { rows: 500, fields: 50, stripes: 5, seed: 2 });
+        assert_eq!(a.rows, b.rows);
+    }
+}

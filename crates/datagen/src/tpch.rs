@@ -1,0 +1,253 @@
+//! TPC-H `lineitem` generator (paper §7.1.1, "TPC-H Data").
+//!
+//! The paper uses `lineitem` at scale 3 (~18M rows of 136 bytes) and
+//! exploits two correlations (§3.3, Figure 1):
+//!
+//! * `shipdate` ↔ `receiptdate`: "most products are shipped 2, 4, or 5
+//!   days before they are received" — a tight soft FD;
+//! * `suppkey` ↔ `partkey`: "each supplier only supplies certain parts" —
+//!   a moderate correlation (TPC-H assigns each part 4 suppliers).
+//!
+//! Figure 3's query (`shipdate IN (...)` with the table clustered on
+//! `receiptdate` vs. on the primary key) runs against this data.
+
+use cm_storage::{Column, Row, Schema, Value, ValueType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Column index of `orderkey`.
+pub const COL_ORDERKEY: usize = 0;
+/// Column index of `linenumber`.
+pub const COL_LINENUMBER: usize = 1;
+/// Column index of `partkey`.
+pub const COL_PARTKEY: usize = 2;
+/// Column index of `suppkey`.
+pub const COL_SUPPKEY: usize = 3;
+/// Column index of `quantity`.
+pub const COL_QUANTITY: usize = 4;
+/// Column index of `extendedprice`.
+pub const COL_EXTENDEDPRICE: usize = 5;
+/// Column index of `discount`.
+pub const COL_DISCOUNT: usize = 6;
+/// Column index of `tax`.
+pub const COL_TAX: usize = 7;
+/// Column index of `shipdate`.
+pub const COL_SHIPDATE: usize = 8;
+/// Column index of `commitdate`.
+pub const COL_COMMITDATE: usize = 9;
+/// Column index of `receiptdate`.
+pub const COL_RECEIPTDATE: usize = 10;
+/// Column index of `shipmode`.
+pub const COL_SHIPMODE: usize = 11;
+/// Column index of `returnflag`.
+pub const COL_RETURNFLAG: usize = 12;
+
+/// First order date (days since epoch; 1992-01-01).
+pub const DATE_LO: i32 = 8036;
+/// Span of order dates in days (~7 years, as in TPC-H).
+pub const DATE_SPAN: i32 = 2526;
+
+/// Scale and randomness knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchConfig {
+    /// Approximate number of lineitem rows (paper: ~18M at SF3).
+    pub rows: usize,
+    /// Number of parts (SF3: 600k).
+    pub parts: i64,
+    /// Number of suppliers (SF3: 30k).
+    pub suppliers: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig { rows: 300_000, parts: 10_000, suppliers: 500, seed: 0x79C8 }
+    }
+}
+
+/// A generated lineitem table.
+pub struct TpchData {
+    /// `LINEITEM` schema.
+    pub schema: Arc<Schema>,
+    /// Rows in orderkey order (the "clustered on primary key" layout;
+    /// re-cluster on receiptdate for the correlated experiments).
+    pub rows: Vec<Row>,
+}
+
+/// The `LINEITEM` schema (the 13 attributes the experiments touch).
+pub fn schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        Column::new("orderkey", ValueType::Int),
+        Column::new("linenumber", ValueType::Int),
+        Column::new("partkey", ValueType::Int),
+        Column::new("suppkey", ValueType::Int),
+        Column::new("quantity", ValueType::Int),
+        Column::new("extendedprice", ValueType::Float),
+        Column::new("discount", ValueType::Float),
+        Column::new("tax", ValueType::Float),
+        Column::new("shipdate", ValueType::Date),
+        Column::new("commitdate", ValueType::Date),
+        Column::new("receiptdate", ValueType::Date),
+        Column::new("shipmode", ValueType::Str),
+        Column::new("returnflag", ValueType::Str),
+    ]))
+}
+
+const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+
+/// Generate the lineitem table.
+pub fn tpch_lineitem(config: TpchConfig) -> TpchData {
+    assert!(config.parts > 0 && config.suppliers > 0);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = schema();
+    let mut rows = Vec::with_capacity(config.rows);
+    let mut orderkey = 0i64;
+    while rows.len() < config.rows {
+        orderkey += 1;
+        let orderdate = DATE_LO + rng.gen_range(0..DATE_SPAN);
+        let lines = rng.gen_range(1..=7);
+        for linenumber in 1..=lines {
+            if rows.len() >= config.rows {
+                break;
+            }
+            let partkey = rng.gen_range(0..config.parts);
+            // TPC-H: each part is supplied by 4 suppliers, deterministic
+            // in partkey — the moderate suppkey↔partkey correlation of
+            // Figure 1 rows 1–2.
+            let supp_slot = rng.gen_range(0..4i64);
+            let suppkey =
+                (partkey + supp_slot * (config.suppliers / 4).max(1)) % config.suppliers;
+            let shipdate = orderdate + rng.gen_range(1..=121);
+            let commitdate = orderdate + rng.gen_range(30..=90);
+            // §3.3: receipt lags ship by a few common gaps.
+            let gap = match rng.gen_range(0..10) {
+                0..=3 => 2,
+                4..=6 => 4,
+                7..=8 => 5,
+                _ => rng.gen_range(1..=30),
+            };
+            let receiptdate = shipdate + gap;
+            let quantity = rng.gen_range(1..=50i64);
+            let price_per_unit = 900.0 + (partkey % 2000) as f64;
+            rows.push(vec![
+                Value::Int(orderkey),
+                Value::Int(linenumber),
+                Value::Int(partkey),
+                Value::Int(suppkey),
+                Value::Int(quantity),
+                Value::float(quantity as f64 * price_per_unit),
+                Value::float(f64::from(rng.gen_range(0..=10u32)) / 100.0),
+                Value::float(f64::from(rng.gen_range(0..=8u32)) / 100.0),
+                Value::Date(shipdate),
+                Value::Date(commitdate),
+                Value::Date(receiptdate),
+                Value::str(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())]),
+                Value::str(RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())]),
+            ]);
+        }
+    }
+    TpchData { schema, rows }
+}
+
+impl TpchData {
+    /// `n` distinct shipdate values present in the data (for the Figure 3
+    /// `shipdate IN (...)` query), deterministically sampled.
+    pub fn random_shipdates(&self, n: usize, seed: u64) -> Vec<Value> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = std::collections::BTreeSet::new();
+        while out.len() < n {
+            let row = &self.rows[rng.gen_range(0..self.rows.len())];
+            out.insert(row[COL_SHIPDATE].as_date().unwrap());
+        }
+        out.into_iter().map(Value::Date).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_stats::correlation_stats;
+
+    fn small() -> TpchData {
+        tpch_lineitem(TpchConfig { rows: 20_000, parts: 2_000, suppliers: 100, seed: 3 })
+    }
+
+    #[test]
+    fn rows_conform_and_count() {
+        let d = small();
+        assert_eq!(d.rows.len(), 20_000);
+        for row in d.rows.iter().take(200) {
+            d.schema.validate(row).unwrap();
+        }
+    }
+
+    #[test]
+    fn shipdate_receiptdate_tightly_correlated() {
+        let d = small();
+        let s = correlation_stats(
+            d.rows.iter().map(|r| (&r[COL_SHIPDATE], &r[COL_RECEIPTDATE])),
+        );
+        // ~90% of gaps come from {2, 4, 5}: each shipdate co-occurs with
+        // only a handful of receiptdates.
+        assert!(s.c_per_u < 8.0, "c_per_u {}", s.c_per_u);
+        // Receipt strictly after ship.
+        for r in d.rows.iter().take(1000) {
+            assert!(r[COL_RECEIPTDATE].as_date() > r[COL_SHIPDATE].as_date());
+        }
+    }
+
+    #[test]
+    fn suppkey_partkey_moderately_correlated() {
+        let d = small();
+        let s = correlation_stats(
+            d.rows.iter().map(|r| (&r[COL_PARTKEY], &r[COL_SUPPKEY])),
+        );
+        // Each part sees at most 4 suppliers — far below the 100 an
+        // uncorrelated pair would approach.
+        assert!(s.c_per_u <= 4.0, "c_per_u {}", s.c_per_u);
+        assert!(s.c_per_u > 1.0, "but more than one supplier per part");
+    }
+
+    #[test]
+    fn shipdate_uncorrelated_with_orderkey_locality() {
+        // Orders arrive in key order but ship dates scatter over ~4
+        // months: a given shipdate maps to many orderkeys.
+        let d = small();
+        let s = correlation_stats(
+            d.rows.iter().map(|r| (&r[COL_SHIPDATE], &r[COL_ORDERKEY])),
+        );
+        assert!(s.c_per_u > 3.0, "c_per_u {}", s.c_per_u);
+    }
+
+    #[test]
+    fn orders_have_1_to_7_lines() {
+        let d = small();
+        let mut counts = std::collections::HashMap::new();
+        for r in &d.rows {
+            *counts.entry(r[COL_ORDERKEY].as_int().unwrap()).or_insert(0u32) += 1;
+        }
+        assert!(counts.values().all(|&c| (1..=7).contains(&c)));
+    }
+
+    #[test]
+    fn random_shipdates_are_distinct_and_present() {
+        let d = small();
+        let dates = d.random_shipdates(20, 9);
+        assert_eq!(dates.len(), 20);
+        let set: std::collections::HashSet<_> = dates.iter().collect();
+        assert_eq!(set.len(), 20);
+        for v in &dates {
+            assert!(d.rows.iter().any(|r| &r[COL_SHIPDATE] == v));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = tpch_lineitem(TpchConfig { rows: 1000, parts: 100, suppliers: 20, seed: 5 });
+        let b = tpch_lineitem(TpchConfig { rows: 1000, parts: 100, suppliers: 20, seed: 5 });
+        assert_eq!(a.rows, b.rows);
+    }
+}

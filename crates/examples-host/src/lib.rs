@@ -1,0 +1,10 @@
+//! Host crate for the runnable examples in `/examples`.
+//!
+//! Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p examples-host --example quickstart
+//! cargo run --release -p examples-host --example ebay_catalog
+//! cargo run --release -p examples-host --example sdss_sky_survey
+//! cargo run --release -p examples-host --example tpch_warehouse
+//! ```

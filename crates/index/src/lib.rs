@@ -1,0 +1,31 @@
+//! # cm-index
+//!
+//! B+Tree substrate for the Correlation Maps (VLDB 2009) reproduction.
+//!
+//! The paper compares CMs against PostgreSQL secondary B+Trees and drives
+//! CM-guided scans through a clustered index, so both must exist as real
+//! structures here:
+//!
+//! * [`BPlusTree`] — a generic, arena-allocated B+Tree with configurable
+//!   fanout, leaf chaining, and page-identified nodes so probes can be
+//!   charged against the simulated disk node-by-node.
+//! * [`SecondaryIndex`] — a *dense* index: one posting (RID) per tuple per
+//!   key, exactly what makes B+Trees large and expensive to maintain in
+//!   the paper (860 MB for the eBay table, vs. a 0.9 MB CM).
+//! * [`ClusteredIndex`] — a *sparse* index over a clustered heap: one entry
+//!   per distinct clustered value, mapping to the first heap RID holding
+//!   it. CM lookups and predicate-rewrite scans descend this structure.
+//!
+//! All probes and updates charge their node accesses through
+//! [`cm_storage::PageAccessor`], so the same index runs cold against
+//! [`cm_storage::DiskSim`] or warm through [`cm_storage::BufferPool`].
+
+pub mod btree;
+pub mod clustered;
+pub mod key;
+pub mod secondary;
+
+pub use btree::BPlusTree;
+pub use clustered::ClusteredIndex;
+pub use key::IndexKey;
+pub use secondary::SecondaryIndex;

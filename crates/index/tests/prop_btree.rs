@@ -1,0 +1,84 @@
+//! Property tests: the B+Tree must behave exactly like `BTreeMap` under
+//! arbitrary interleavings of inserts, removals, lookups, and range scans,
+//! while maintaining its structural invariants.
+
+use cm_index::BPlusTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i32, u32),
+    Remove(i32),
+    Get(i32),
+    Range(i32, i32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<i32>().prop_map(|k| k % 200), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (any::<i32>().prop_map(|k| k % 200)).prop_map(Op::Remove),
+        (any::<i32>().prop_map(|k| k % 200)).prop_map(Op::Get),
+        (any::<i32>(), any::<i32>()).prop_map(|(a, b)| Op::Range(a % 200, b % 200)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_model(ops in prop::collection::vec(op_strategy(), 1..400), order in 3usize..16) {
+        let mut tree: BPlusTree<i32, u32> = BPlusTree::new(order);
+        let mut model: BTreeMap<i32, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => prop_assert_eq!(tree.insert(k, v), model.insert(k, v)),
+                Op::Remove(k) => prop_assert_eq!(tree.remove(&k), model.remove(&k)),
+                Op::Get(k) => prop_assert_eq!(tree.get(&k), model.get(&k)),
+                Op::Range(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let got: Vec<(i32, u32)> = tree
+                        .range(Bound::Included(&lo), Bound::Included(&hi))
+                        .map(|(_, k, v)| (*k, *v))
+                        .collect();
+                    let want: Vec<(i32, u32)> =
+                        model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), model.len());
+        let all: Vec<(i32, u32)> = tree.iter().map(|(_, k, v)| (*k, *v)).collect();
+        let want: Vec<(i32, u32)> = model.into_iter().collect();
+        prop_assert_eq!(all, want);
+    }
+
+    #[test]
+    fn bulk_insert_then_drain(keys in prop::collection::btree_set(any::<i64>(), 0..300), order in 3usize..32) {
+        let mut tree: BPlusTree<i64, i64> = BPlusTree::new(order);
+        for &k in &keys {
+            tree.insert(k, -k);
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), keys.len());
+        for &k in &keys {
+            prop_assert_eq!(tree.remove(&k), Some(-k));
+        }
+        prop_assert_eq!(tree.len(), 0);
+        prop_assert_eq!(tree.height(), 1);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn probe_path_length_equals_height(keys in prop::collection::vec(any::<i64>(), 1..500)) {
+        let mut tree: BPlusTree<i64, ()> = BPlusTree::new(4);
+        for &k in &keys {
+            tree.insert(k, ());
+        }
+        for &k in keys.iter().take(20) {
+            prop_assert_eq!(tree.probe_path(&k).len(), tree.height());
+        }
+    }
+}

@@ -1,0 +1,2 @@
+//! Host crate for the cross-crate integration tests living in `/tests`
+//! at the workspace root (declared via `[[test]]` path entries).

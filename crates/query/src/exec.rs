@@ -1,0 +1,457 @@
+//! The four physical access paths.
+//!
+//! Each executor charges page accesses through an [`ExecContext`] and
+//! reports the simulated I/O it caused. "Runtime" in every reproduced
+//! figure is the simulated elapsed milliseconds of the access pattern,
+//! priced with the paper's Table 1 constants by
+//! [`cm_storage::DiskSim`].
+
+use crate::predicate::{PredOp, Query};
+use crate::table::Table;
+use cm_core::AttrConstraint;
+use cm_index::IndexKey;
+use cm_storage::{DiskSim, IoStats, PageAccessor, ReadCache, Rid, Value};
+use std::sync::Arc;
+
+/// Where an execution charges I/O and reads its clock.
+pub struct ExecContext<'a> {
+    /// The simulated disk (source of truth for elapsed time).
+    pub disk: &'a Arc<DiskSim>,
+    /// Charging target: the disk itself (cold runs, as in the paper's
+    /// flushed-cache experiments) or a buffer pool (warm / mixed
+    /// workloads).
+    pub io: &'a dyn PageAccessor,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Charge straight to the disk (cold cache).
+    pub fn cold(disk: &'a Arc<DiskSim>) -> Self {
+        ExecContext { disk, io: disk }
+    }
+
+    /// Charge through an arbitrary accessor (e.g. a buffer pool).
+    pub fn through(disk: &'a Arc<DiskSim>, io: &'a dyn PageAccessor) -> Self {
+        ExecContext { disk, io }
+    }
+}
+
+/// Outcome of one query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Rows satisfying the query.
+    pub matched: u64,
+    /// Rows examined (matched + false positives the path had to filter).
+    pub examined: u64,
+    /// I/O charged to the simulated disk during the run.
+    pub io: IoStats,
+}
+
+impl RunResult {
+    /// Simulated elapsed milliseconds.
+    pub fn ms(&self) -> f64 {
+        self.io.elapsed_ms
+    }
+}
+
+impl Table {
+    /// Access path 1: full sequential scan (§3).
+    pub fn exec_full_scan(&self, ctx: &ExecContext<'_>, q: &Query) -> RunResult {
+        self.exec_full_scan_visit(ctx, q, |_| {})
+    }
+
+    /// Full scan with a visitor over matching rows (for aggregates).
+    pub fn exec_full_scan_visit(
+        &self,
+        ctx: &ExecContext<'_>,
+        q: &Query,
+        mut on_match: impl FnMut(&[Value]),
+    ) -> RunResult {
+        let before = ctx.disk.stats();
+        let mut matched = 0u64;
+        let mut examined = 0u64;
+        for page in 0..self.heap().num_pages() {
+            let rows = self.heap().read_page(ctx.io, page).expect("page in range");
+            for row in rows {
+                examined += 1;
+                if q.matches(row) {
+                    matched += 1;
+                    on_match(row);
+                }
+            }
+        }
+        RunResult { matched, examined, io: ctx.disk.stats().since(&before) }
+    }
+
+    /// Gather the RIDs a secondary index yields for the query's predicate
+    /// on its key (charging index I/O). Composite indexes use an
+    /// all-equality composite probe when possible, otherwise fall back to
+    /// a range over the first (prefix) column — exactly the prefix
+    /// limitation of composite B+Trees that Experiment 5 exposes.
+    fn secondary_rids(&self, io: &dyn PageAccessor, sec_id: usize, q: &Query) -> Vec<Rid> {
+        let sec = self.secondary(sec_id);
+        let cols = sec.cols();
+        // All-equality composite probe.
+        let eq_vals: Option<Vec<Value>> = cols
+            .iter()
+            .map(|&c| match q.pred_on(c).map(|p| &p.op) {
+                Some(PredOp::Eq(v)) => Some(v.clone()),
+                _ => None,
+            })
+            .collect();
+        if let Some(vals) = eq_vals {
+            return sec.probe(io, &IndexKey::composite(vals)).to_vec();
+        }
+        // Otherwise only the first (prefix) key column can narrow the
+        // scan — the composite-index limitation Experiment 5 exposes.
+        let first = cols[0];
+        match q.pred_on(first).map(|p| &p.op) {
+            Some(PredOp::Eq(v)) => sec.probe_first_col_range(io, v, v),
+            Some(PredOp::In(vs)) => {
+                let mut rids = Vec::new();
+                for v in vs {
+                    rids.extend(sec.probe_first_col_range(io, v, v));
+                }
+                rids
+            }
+            Some(PredOp::Between(lo, hi)) => sec.probe_first_col_range(io, lo, hi),
+            None => panic!(
+                "secondary index {:?} has no predicate on its first key column",
+                sec.name()
+            ),
+        }
+    }
+
+    /// Access path 2: pipelined secondary index scan (§3.1): every
+    /// posting triggers an uncoordinated heap fetch.
+    pub fn exec_secondary_pipelined(
+        &self,
+        ctx: &ExecContext<'_>,
+        sec_id: usize,
+        q: &Query,
+    ) -> RunResult {
+        let before = ctx.disk.stats();
+        // Pipelined probes are deliberately uncached: the paper's model
+        // charges every lookup a full descent (§3.1).
+        let rids = self.secondary_rids(ctx.io, sec_id, q);
+        let mut matched = 0u64;
+        let mut examined = 0u64;
+        for rid in rids {
+            let row = self.heap().fetch(ctx.io, rid).expect("index rid valid");
+            examined += 1;
+            if q.matches(row) {
+                matched += 1;
+            }
+        }
+        RunResult { matched, examined, io: ctx.disk.stats().since(&before) }
+    }
+
+    /// Access path 3: sorted (bitmap) secondary index scan (§3.2):
+    /// collect RIDs, sort and deduplicate their pages, then sweep the
+    /// heap in page order so co-located results cost sequential reads.
+    pub fn exec_secondary_sorted(
+        &self,
+        ctx: &ExecContext<'_>,
+        sec_id: usize,
+        q: &Query,
+    ) -> RunResult {
+        self.exec_secondary_sorted_visit(ctx, sec_id, q, |_| {})
+    }
+
+    /// Sorted scan with a visitor over matching rows.
+    pub fn exec_secondary_sorted_visit(
+        &self,
+        ctx: &ExecContext<'_>,
+        sec_id: usize,
+        q: &Query,
+        mut on_match: impl FnMut(&[Value]),
+    ) -> RunResult {
+        let before = ctx.disk.stats();
+        // Index pages (notably upper levels) are cached within the query,
+        // as PostgreSQL's shared buffers would; the heap sweep is not.
+        let index_io = ReadCache::new(ctx.io);
+        let rids = self.secondary_rids(&index_io, sec_id, q);
+        let mut pages: Vec<u64> = rids.iter().map(|&r| self.heap().page_of(r)).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        let mut matched = 0u64;
+        let mut examined = 0u64;
+        for page in pages {
+            let rows = self.heap().read_page(ctx.io, page).expect("page in range");
+            for row in rows {
+                examined += 1;
+                if q.matches(row) {
+                    matched += 1;
+                    on_match(row);
+                }
+            }
+        }
+        RunResult { matched, examined, io: ctx.disk.stats().since(&before) }
+    }
+
+    /// Access path 4: CM-guided scan (§5.2, Figure 4).
+    ///
+    /// 1. `cm_lookup` on the memory-resident CM → candidate clustered
+    ///    buckets (no I/O — the CM fits in RAM, the paper's core claim).
+    /// 2. One clustered-index descent per bucket (the
+    ///    `seek · btree_height` term of the cost model; the paper's
+    ///    prototype reaches the same pattern by rewriting the query with
+    ///    an `IN` list over the clustered attribute).
+    /// 3. A page-ordered sweep of the merged bucket ranges, re-filtering
+    ///    every row against the original predicate — bucketing introduces
+    ///    false positives, never false negatives.
+    pub fn exec_cm_scan(&self, ctx: &ExecContext<'_>, cm_id: usize, q: &Query) -> RunResult {
+        self.exec_cm_scan_visit(ctx, cm_id, q, |_| {})
+    }
+
+    /// CM-guided scan with a visitor over matching rows.
+    pub fn exec_cm_scan_visit(
+        &self,
+        ctx: &ExecContext<'_>,
+        cm_id: usize,
+        q: &Query,
+        mut on_match: impl FnMut(&[Value]),
+    ) -> RunResult {
+        let before = ctx.disk.stats();
+        let cm = self.cm(cm_id);
+        let constraints = cm_constraints(cm.spec(), q);
+        let buckets = cm.lookup(&constraints);
+
+        // Clustered-index descent per returned bucket; upper index
+        // levels are cached within the query (adjacent buckets share
+        // leaves, so contiguous lookups charge little beyond the first).
+        let index_io = ReadCache::new(ctx.io);
+        for &b in &buckets {
+            let (start, _) = self.dir().rid_range(b);
+            let key = &self.heap().peek(Rid(start)).expect("bucket start valid")
+                [self.clustered_col()];
+            self.clustered().charge_probe(&index_io, key);
+        }
+
+        // Merge bucket page ranges (adjacent buckets share boundary pages).
+        let mut ranges: Vec<(u64, u64)> =
+            buckets.iter().map(|&b| self.dir().page_range(b)).collect();
+        ranges.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+        for (lo, hi) in ranges {
+            match merged.last_mut() {
+                Some((_, mhi)) if lo <= *mhi + 1 => *mhi = (*mhi).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+
+        let mut matched = 0u64;
+        let mut examined = 0u64;
+        for (lo, hi) in merged {
+            for page in lo..=hi {
+                let rows = self.heap().read_page(ctx.io, page).expect("page in range");
+                for row in rows {
+                    examined += 1;
+                    if q.matches(row) {
+                        matched += 1;
+                        on_match(row);
+                    }
+                }
+            }
+        }
+        RunResult { matched, examined, io: ctx.disk.stats().since(&before) }
+    }
+}
+
+/// Translate the query's predicates into per-attribute CM constraints
+/// (attributes without a predicate become `Any`; predicates on columns
+/// outside the CM key are applied by the row re-filter).
+pub fn cm_constraints(spec: &cm_core::CmSpec, q: &Query) -> Vec<AttrConstraint> {
+    spec.attrs()
+        .iter()
+        .map(|attr| match q.pred_on(attr.col).map(|p| &p.op) {
+            Some(PredOp::Eq(v)) => AttrConstraint::Eq(v.clone()),
+            Some(PredOp::In(vs)) => AttrConstraint::In(vs.clone()),
+            Some(PredOp::Between(lo, hi)) => AttrConstraint::Range(lo.clone(), hi.clone()),
+            None => AttrConstraint::Any,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Pred;
+    use cm_core::{CmAttr, CmSpec};
+    use cm_storage::{Column, Schema, ValueType};
+
+    /// catid-clustered table where price is strongly correlated with
+    /// catid and `tag` is uncorrelated.
+    fn demo(disk: &Arc<DiskSim>) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("catid", ValueType::Int),
+            Column::new("price", ValueType::Int),
+            Column::new("tag", ValueType::Int),
+        ]));
+        let rows: Vec<Vec<Value>> = (0..40_000i64)
+            .map(|i| {
+                let cat = i % 100;
+                vec![
+                    Value::Int(cat),
+                    Value::Int(cat * 100 + (i * 17) % 100),
+                    Value::Int((i * 31) % 97),
+                ]
+            })
+            .collect();
+        // 100 cats × 400 tuples; one bucket per cat (20 pages each).
+        Table::build(disk, schema, rows, 20, 0, 400).unwrap()
+    }
+
+    fn count_by_scan(t: &Table, disk: &Arc<DiskSim>, q: &Query) -> u64 {
+        let ctx = ExecContext::cold(disk);
+        t.exec_full_scan(&ctx, q).matched
+    }
+
+    #[test]
+    fn all_paths_agree_on_matched_count() {
+        let disk = DiskSim::with_defaults();
+        let mut t = demo(&disk);
+        let sec = t.add_secondary(&disk, "price", vec![1]);
+        let cm = t.add_cm("price_cm", CmSpec::new(vec![CmAttr::pow2(1, 5)]));
+        let queries = [
+            Query::single(Pred::eq(1, 4217i64)),
+            Query::single(Pred::between(1, 4200i64, 4400i64)),
+            Query::single(Pred::is_in(
+                1,
+                vec![Value::Int(100), Value::Int(4217), Value::Int(9999)],
+            )),
+            Query::new(vec![Pred::between(1, 0i64, 500i64), Pred::eq(2, 5i64)]),
+        ];
+        for q in &queries {
+            let truth = count_by_scan(&t, &disk, q);
+            let ctx = ExecContext::cold(&disk);
+            assert_eq!(t.exec_secondary_sorted(&ctx, sec, q).matched, truth, "{q:?}");
+            assert_eq!(t.exec_secondary_pipelined(&ctx, sec, q).matched, truth, "{q:?}");
+            assert_eq!(t.exec_cm_scan(&ctx, cm, q).matched, truth, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn full_scan_is_sequential() {
+        let disk = DiskSim::with_defaults();
+        let t = demo(&disk);
+        let ctx = ExecContext::cold(&disk);
+        let r = t.exec_full_scan(&ctx, &Query::single(Pred::eq(1, 1i64)));
+        assert_eq!(r.io.seeks, 1, "one initial seek");
+        assert_eq!(r.io.seq_reads, t.heap().num_pages() - 1);
+        assert_eq!(r.examined, t.heap().len());
+    }
+
+    #[test]
+    fn sorted_scan_beats_pipelined_on_correlated_range() {
+        let disk = DiskSim::with_defaults();
+        let mut t = demo(&disk);
+        let sec = t.add_secondary(&disk, "price", vec![1]);
+        let q = Query::single(Pred::between(1, 2000i64, 2500i64));
+        let ctx = ExecContext::cold(&disk);
+        let sorted = t.exec_secondary_sorted(&ctx, sec, &q);
+        let pipelined = t.exec_secondary_pipelined(&ctx, sec, &q);
+        assert!(sorted.ms() < pipelined.ms() / 2.0, "{} vs {}", sorted.ms(), pipelined.ms());
+    }
+
+    #[test]
+    fn cm_scan_examines_superset_but_matches_exactly() {
+        let disk = DiskSim::with_defaults();
+        let mut t = demo(&disk);
+        let cm = t.add_cm("price_cm", CmSpec::new(vec![CmAttr::pow2(1, 8)]));
+        let q = Query::single(Pred::between(1, 4200i64, 4300i64));
+        let ctx = ExecContext::cold(&disk);
+        let r = t.exec_cm_scan(&ctx, cm, &q);
+        let truth = count_by_scan(&t, &disk, &q);
+        assert_eq!(r.matched, truth);
+        assert!(r.examined >= r.matched, "bucketing adds false positives");
+    }
+
+    #[test]
+    fn cm_on_correlated_attr_beats_full_scan() {
+        let disk = DiskSim::with_defaults();
+        let mut t = demo(&disk);
+        let cm = t.add_cm("price_cm", CmSpec::new(vec![CmAttr::pow2(1, 5)]));
+        let q = Query::single(Pred::between(1, 4200i64, 4300i64));
+        let ctx = ExecContext::cold(&disk);
+        let cm_run = t.exec_cm_scan(&ctx, cm, &q);
+        let scan = t.exec_full_scan(&ctx, &q);
+        assert!(
+            cm_run.ms() < scan.ms() / 3.0,
+            "CM {} ms vs scan {} ms",
+            cm_run.ms(),
+            scan.ms()
+        );
+    }
+
+    #[test]
+    fn cm_on_uncorrelated_attr_approaches_scan() {
+        let disk = DiskSim::with_defaults();
+        let mut t = demo(&disk);
+        let cm = t.add_cm("tag_cm", CmSpec::single_raw(2));
+        // tag is uncorrelated with catid: one value appears in most
+        // buckets, so the CM sweeps most of the table.
+        let q = Query::single(Pred::eq(2, 5i64));
+        let ctx = ExecContext::cold(&disk);
+        let cm_run = t.exec_cm_scan(&ctx, cm, &q);
+        let scan = t.exec_full_scan(&ctx, &q);
+        assert!(
+            cm_run.io.pages() as f64 > 0.5 * scan.io.pages() as f64,
+            "uncorrelated CM touches most pages ({} vs {})",
+            cm_run.io.pages(),
+            scan.io.pages()
+        );
+    }
+
+    #[test]
+    fn composite_index_uses_prefix_only() {
+        let disk = DiskSim::with_defaults();
+        let mut t = demo(&disk);
+        let sec = t.add_secondary(&disk, "price_tag", vec![1, 2]);
+        // Range on price (prefix) + range on tag: the index can narrow by
+        // price only; tag filters afterwards.
+        let q = Query::new(vec![
+            Pred::between(1, 2000i64, 2200i64),
+            Pred::between(2, 0i64, 10i64),
+        ]);
+        let ctx = ExecContext::cold(&disk);
+        let r = t.exec_secondary_sorted(&ctx, sec, &q);
+        assert_eq!(r.matched, count_by_scan(&t, &disk, &q));
+    }
+
+    #[test]
+    fn composite_all_equality_probe() {
+        let disk = DiskSim::with_defaults();
+        let mut t = demo(&disk);
+        let sec = t.add_secondary(&disk, "cat_price", vec![0, 1]);
+        let q = Query::new(vec![Pred::eq(0, 42i64), Pred::eq(1, 4217i64)]);
+        let ctx = ExecContext::cold(&disk);
+        let r = t.exec_secondary_sorted(&ctx, sec, &q);
+        assert_eq!(r.matched, count_by_scan(&t, &disk, &q));
+    }
+
+    #[test]
+    fn visitor_receives_matching_rows() {
+        let disk = DiskSim::with_defaults();
+        let mut t = demo(&disk);
+        let cm = t.add_cm("price_cm", CmSpec::new(vec![CmAttr::pow2(1, 5)]));
+        let q = Query::single(Pred::between(1, 100i64, 199i64));
+        let ctx = ExecContext::cold(&disk);
+        let mut sum = 0i64;
+        let mut n = 0u64;
+        let r = t.exec_cm_scan_visit(&ctx, cm, &q, |row| {
+            sum += row[1].as_int().unwrap();
+            n += 1;
+        });
+        assert_eq!(n, r.matched);
+        assert!(sum >= 100 * n as i64 && sum <= 199 * n as i64);
+    }
+
+    #[test]
+    fn cm_constraint_translation() {
+        let spec = CmSpec::new(vec![CmAttr::raw(1), CmAttr::raw(2)]);
+        let q = Query::new(vec![Pred::eq(1, 5i64)]);
+        let cs = cm_constraints(&spec, &q);
+        assert_eq!(cs[0], AttrConstraint::Eq(Value::Int(5)));
+        assert_eq!(cs[1], AttrConstraint::Any);
+    }
+}

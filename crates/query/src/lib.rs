@@ -1,0 +1,30 @@
+//! # cm-query
+//!
+//! Query execution for the Correlation Maps (VLDB 2009) reproduction.
+//!
+//! The paper evaluates four physical access paths for a conjunctive
+//! predicate over a clustered heap:
+//!
+//! 1. **Full table scan** — sequential read of every page (§3).
+//! 2. **Pipelined secondary index scan** — one uncoordinated probe + heap
+//!    fetch per matching tuple (§3.1).
+//! 3. **Sorted secondary index scan** — PostgreSQL-style bitmap scan:
+//!    collect RIDs, sort/dedupe pages, sweep the heap (§3.2).
+//! 4. **CM-guided scan** — `cm_lookup` on the memory-resident CM, then a
+//!    clustered-index-driven scan of the returned bucket ranges with
+//!    re-filtering against the original predicate (§5.2, Figure 4).
+//!
+//! [`Table`] composes the substrates (heap, clustered index, bucket
+//! directory, secondary indexes, CMs) and owns the INSERT/DELETE
+//! maintenance paths measured in Experiment 3. [`Planner`] chooses among
+//! the paths with the paper's cost model.
+
+pub mod exec;
+pub mod plan;
+pub mod predicate;
+pub mod table;
+
+pub use exec::{ExecContext, RunResult};
+pub use plan::{AccessPath, PlanChoice, Planner};
+pub use predicate::{Pred, PredOp, Query};
+pub use table::{ColumnStats, Table};

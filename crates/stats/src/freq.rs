@@ -1,0 +1,100 @@
+//! Frequency tables over samples.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Counts occurrences of sampled keys and derives the frequency-of-
+/// frequency profile (`f_j` = number of keys seen exactly `j` times) that
+/// the sample-based distinct-value estimators consume.
+#[derive(Debug, Clone)]
+pub struct FreqTable<K: Eq + Hash> {
+    counts: HashMap<K, u64>,
+    total: u64,
+}
+
+impl<K: Eq + Hash> Default for FreqTable<K> {
+    fn default() -> Self {
+        FreqTable { counts: HashMap::new(), total: 0 }
+    }
+}
+
+impl<K: Eq + Hash> FreqTable<K> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one observation.
+    pub fn observe(&mut self, key: K) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct keys in the sample (`d`).
+    pub fn distinct(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Number of keys observed exactly once (`f_1`).
+    pub fn f1(&self) -> u64 {
+        self.counts.values().filter(|&&c| c == 1).count() as u64
+    }
+
+    /// Frequency-of-frequency profile: `result[j]` = number of keys seen
+    /// exactly `j + 1` times.
+    pub fn freq_of_freq(&self) -> Vec<u64> {
+        let max = self.counts.values().copied().max().unwrap_or(0) as usize;
+        let mut f = vec![0u64; max];
+        for &c in self.counts.values() {
+            f[c as usize - 1] += 1;
+        }
+        f
+    }
+
+    /// Raw per-key counts (read-only).
+    pub fn counts(&self) -> &HashMap<K, u64> {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_profile() {
+        let mut t = FreqTable::new();
+        for k in ["a", "b", "a", "c", "a", "b"] {
+            t.observe(k);
+        }
+        assert_eq!(t.total(), 6);
+        assert_eq!(t.distinct(), 3);
+        assert_eq!(t.f1(), 1); // only "c"
+        // f_1 = 1 ("c"), f_2 = 1 ("b"), f_3 = 1 ("a")
+        assert_eq!(t.freq_of_freq(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t: FreqTable<u32> = FreqTable::new();
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.distinct(), 0);
+        assert_eq!(t.f1(), 0);
+        assert!(t.freq_of_freq().is_empty());
+    }
+
+    #[test]
+    fn all_unique() {
+        let mut t = FreqTable::new();
+        for i in 0..10u32 {
+            t.observe(i);
+        }
+        assert_eq!(t.f1(), 10);
+        assert_eq!(t.freq_of_freq(), vec![10]);
+    }
+}

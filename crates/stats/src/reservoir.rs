@@ -1,0 +1,122 @@
+//! Reservoir sampling.
+//!
+//! The paper collects its advisor sample "randomly during the DS table
+//! scan, yielding an optimum random sample" (§4.2, citing Olken & Rotem).
+//! [`ReservoirSampler`] is the classical Algorithm R: a single pass keeps
+//! a uniform sample of fixed size with O(1) work per row.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform fixed-size sample over a stream.
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    sample: Vec<T>,
+    seen: u64,
+    capacity: usize,
+    rng: StdRng,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// A reservoir of `capacity` items with a deterministic seed (all
+    /// experiments are reproducible end-to-end).
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ReservoirSampler {
+            sample: Vec::with_capacity(capacity),
+            seen: 0,
+            capacity,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Offer one stream element.
+    pub fn observe(&mut self, item: T) {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(item);
+        } else {
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.sample[j as usize] = item;
+            }
+        }
+    }
+
+    /// The current sample.
+    pub fn sample(&self) -> &[T] {
+        &self.sample
+    }
+
+    /// Consume the sampler, returning the sample.
+    pub fn into_sample(self) -> Vec<T> {
+        self.sample
+    }
+
+    /// Number of stream elements offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_stream_is_kept_entirely() {
+        let mut r = ReservoirSampler::new(100, 1);
+        for i in 0..50u32 {
+            r.observe(i);
+        }
+        assert_eq!(r.sample().len(), 50);
+        assert_eq!(r.seen(), 50);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut r = ReservoirSampler::new(64, 1);
+        for i in 0..10_000u32 {
+            r.observe(i);
+        }
+        assert_eq!(r.sample().len(), 64);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        // Run many reservoirs; each element of 0..100 should appear with
+        // probability ~k/n = 10/100.
+        let mut hits = vec![0u32; 100];
+        for seed in 0..2000u64 {
+            let mut r = ReservoirSampler::new(10, seed);
+            for i in 0..100u32 {
+                r.observe(i);
+            }
+            for &x in r.sample() {
+                hits[x as usize] += 1;
+            }
+        }
+        // Expected 200 hits each; allow generous tolerance.
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((120..=280).contains(&h), "element {i} sampled {h} times");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = ReservoirSampler::new(8, 99);
+        let mut b = ReservoirSampler::new(8, 99);
+        for i in 0..1000u32 {
+            a.observe(i);
+            b.observe(i);
+        }
+        assert_eq!(a.sample(), b.sample());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: ReservoirSampler<u8> = ReservoirSampler::new(0, 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Simulated disk with the paper's cost constants.
+//!
+//! Every experiment in the paper is disk-bound; the quantities it plots are
+//! functions of the page-access pattern. [`DiskSim`] records each page
+//! read/write and prices it with the constants from Table 1 of the paper:
+//! a page that continues the previous access (same file, next page) costs
+//! `seq_page_cost` = 0.078 ms; any other page costs `seek_cost` = 5.5 ms.
+//! This is the same methodology the paper itself uses to study clustered
+//! bucketing in §6.1.1 ("we simulated the disk behavior by counting scanned
+//! pages and seeks, and then calculated the runtime by applying the
+//! statistics in Table 1").
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a simulated file (heap file, index file, WAL, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// Hardware parameters of the simulated disk (paper, Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct DiskConfig {
+    /// Time to seek to a random disk page and read it, in milliseconds.
+    pub seek_ms: f64,
+    /// Time to read one disk page sequentially, in milliseconds.
+    pub seq_page_ms: f64,
+    /// Page size in bytes (used to derive tuples-per-page and WAL pages).
+    pub page_bytes: usize,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        // Measured values reported in Table 1 of the paper.
+        DiskConfig { seek_ms: 5.5, seq_page_ms: 0.078, page_bytes: 8192 }
+    }
+}
+
+/// Cumulative I/O counters, separable and subtractable so an experiment can
+/// snapshot around a query and report the delta.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IoStats {
+    /// Random page accesses (head had to move).
+    pub seeks: u64,
+    /// Sequential page reads (head continued from the previous page).
+    pub seq_reads: u64,
+    /// Page writes (always counted; cost follows the same seek/seq rule).
+    pub page_writes: u64,
+    /// Simulated elapsed time in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+impl IoStats {
+    /// Total pages touched (reads + writes).
+    pub fn pages(&self) -> u64 {
+        self.seeks + self.seq_reads + self.page_writes
+    }
+
+    /// `self - earlier`, for snapshot-delta reporting.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            seeks: self.seeks - earlier.seeks,
+            seq_reads: self.seq_reads - earlier.seq_reads,
+            page_writes: self.page_writes - earlier.page_writes,
+            elapsed_ms: self.elapsed_ms - earlier.elapsed_ms,
+        }
+    }
+
+    /// Accumulate another stats delta into this one.
+    pub fn add(&mut self, other: &IoStats) {
+        self.seeks += other.seeks;
+        self.seq_reads += other.seq_reads;
+        self.page_writes += other.page_writes;
+        self.elapsed_ms += other.elapsed_ms;
+    }
+}
+
+#[derive(Debug, Default)]
+struct DiskState {
+    /// Last page touched: sequentiality is judged against this position.
+    head: Option<(FileId, u64)>,
+    stats: IoStats,
+}
+
+/// Anything pages can be charged against: the raw simulated disk, or a
+/// [`BufferPool`](crate::bufferpool::BufferPool) that absorbs hits.
+///
+/// Operators in `cm-index` / `cm-query` take `&dyn PageAccessor` so the
+/// same code runs cold (straight to disk, as in the paper's flushed-cache
+/// query experiments) or warm (through the pool, as in the maintenance
+/// experiments).
+pub trait PageAccessor: Sync {
+    /// Charge a read of `page` in `file`.
+    fn read(&self, file: FileId, page: u64);
+    /// Charge a write of `page` in `file` (or mark it dirty, for a pool).
+    fn write(&self, file: FileId, page: u64);
+}
+
+/// The simulated disk.
+///
+/// Thread-safe; experiments that drive queries in parallel each use their
+/// own `DiskSim` (sharing one would interleave head positions and destroy
+/// sequentiality, just like two concurrent scans on a real spindle).
+#[derive(Debug)]
+pub struct DiskSim {
+    cfg: DiskConfig,
+    state: Mutex<DiskState>,
+    next_file: AtomicU32,
+}
+
+impl DiskSim {
+    /// New disk with the given parameters.
+    pub fn new(cfg: DiskConfig) -> Arc<Self> {
+        Arc::new(DiskSim {
+            cfg,
+            state: Mutex::new(DiskState::default()),
+            next_file: AtomicU32::new(0),
+        })
+    }
+
+    /// New disk with the paper's Table 1 parameters.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(DiskConfig::default())
+    }
+
+    /// The configured hardware parameters.
+    pub fn config(&self) -> DiskConfig {
+        self.cfg
+    }
+
+    /// Allocate a fresh file id.
+    pub fn alloc_file(&self) -> FileId {
+        FileId(self.next_file.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> IoStats {
+        self.state.lock().stats
+    }
+
+    /// Reset counters and head position (used between experiment runs,
+    /// mirroring the paper's cache flushing between trials).
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.head = None;
+        st.stats = IoStats::default();
+    }
+
+    #[inline]
+    fn charge(&self, file: FileId, page: u64, is_write: bool) {
+        let mut st = self.state.lock();
+        // Cost of moving the head to `page`: adjacent (or same) pages are
+        // sequential; a short forward skip is priced as reading through
+        // the gap, capped by a full seek — this is what makes a dense
+        // bitmap sweep "gradually closer to a full table scan" (§3.2/§4.1
+        // of the paper) instead of a pathological seek per page.
+        let cost = match st.head {
+            Some((f, last)) if f == file && page >= last => {
+                let delta = page - last;
+                if delta <= 1 {
+                    self.cfg.seq_page_ms
+                } else {
+                    (delta as f64 * self.cfg.seq_page_ms).min(self.cfg.seek_ms)
+                }
+            }
+            _ => self.cfg.seek_ms,
+        };
+        let sequential = cost < self.cfg.seek_ms;
+        if is_write {
+            st.stats.page_writes += 1;
+        } else if sequential {
+            st.stats.seq_reads += 1;
+        } else {
+            st.stats.seeks += 1;
+        }
+        st.stats.elapsed_ms += cost;
+        st.head = Some((file, page));
+    }
+}
+
+impl PageAccessor for DiskSim {
+    fn read(&self, file: FileId, page: u64) {
+        self.charge(file, page, false);
+    }
+
+    fn write(&self, file: FileId, page: u64) {
+        self.charge(file, page, true);
+    }
+}
+
+impl PageAccessor for Arc<DiskSim> {
+    fn read(&self, file: FileId, page: u64) {
+        self.as_ref().read(file, page);
+    }
+    fn write(&self, file: FileId, page: u64) {
+        self.as_ref().write(file, page);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn sequential_run_costs_one_seek_plus_seq_pages() {
+        let disk = DiskSim::with_defaults();
+        let f = disk.alloc_file();
+        for p in 0..10 {
+            disk.read(f, p);
+        }
+        let s = disk.stats();
+        assert_eq!(s.seeks, 1);
+        assert_eq!(s.seq_reads, 9);
+        assert!(close(s.elapsed_ms, 5.5 + 9.0 * 0.078), "got {}", s.elapsed_ms);
+    }
+
+    #[test]
+    fn rereading_same_page_is_sequential() {
+        // The head is already positioned there; no mechanical movement.
+        let disk = DiskSim::with_defaults();
+        let f = disk.alloc_file();
+        disk.read(f, 3);
+        disk.read(f, 3);
+        let s = disk.stats();
+        assert_eq!(s.seeks, 1);
+        assert_eq!(s.seq_reads, 1);
+    }
+
+    #[test]
+    fn scattered_reads_all_seek() {
+        let disk = DiskSim::with_defaults();
+        let f = disk.alloc_file();
+        for p in [100u64, 5, 900, 42] {
+            disk.read(f, p);
+        }
+        let s = disk.stats();
+        assert_eq!(s.seeks, 4);
+        assert_eq!(s.seq_reads, 0);
+        assert!(close(s.elapsed_ms, 4.0 * 5.5));
+    }
+
+    #[test]
+    fn switching_files_breaks_sequentiality() {
+        let disk = DiskSim::with_defaults();
+        let f1 = disk.alloc_file();
+        let f2 = disk.alloc_file();
+        disk.read(f1, 0);
+        disk.read(f1, 1);
+        disk.read(f2, 2); // different file: seek even though page is "next"
+        disk.read(f1, 2); // back to f1: seek again
+        let s = disk.stats();
+        assert_eq!(s.seeks, 3);
+        assert_eq!(s.seq_reads, 1);
+    }
+
+    #[test]
+    fn writes_are_counted_separately_but_priced_by_position() {
+        let disk = DiskSim::with_defaults();
+        let f = disk.alloc_file();
+        disk.write(f, 0);
+        disk.write(f, 1);
+        disk.write(f, 5000);
+        let s = disk.stats();
+        assert_eq!(s.page_writes, 3);
+        assert_eq!(s.seeks, 0);
+        assert!(close(s.elapsed_ms, 5.5 + 0.078 + 5.5));
+    }
+
+    #[test]
+    fn short_forward_skips_price_as_read_through() {
+        let disk = DiskSim::with_defaults();
+        let f = disk.alloc_file();
+        disk.read(f, 0);
+        disk.read(f, 10); // skip of 10 pages: 10 * 0.078 < 5.5
+        let s = disk.stats();
+        assert!(close(s.elapsed_ms, 5.5 + 10.0 * 0.078), "got {}", s.elapsed_ms);
+        assert_eq!(s.seq_reads, 1, "short skip counts as read-through");
+        // A long forward skip is a real seek.
+        disk.read(f, 10_000);
+        assert_eq!(disk.stats().seeks, 2);
+        // A backward skip is always a seek.
+        disk.read(f, 9_000);
+        assert_eq!(disk.stats().seeks, 3);
+    }
+
+    #[test]
+    fn stats_delta_and_reset() {
+        let disk = DiskSim::with_defaults();
+        let f = disk.alloc_file();
+        disk.read(f, 0);
+        let snap = disk.stats();
+        disk.read(f, 1);
+        disk.read(f, 2);
+        let d = disk.stats().since(&snap);
+        assert_eq!(d.seq_reads, 2);
+        assert_eq!(d.seeks, 0);
+        disk.reset();
+        assert_eq!(disk.stats(), IoStats::default());
+        // After reset the head is unknown again: first read seeks.
+        disk.read(f, 3);
+        assert_eq!(disk.stats().seeks, 1);
+    }
+
+    #[test]
+    fn file_ids_are_unique() {
+        let disk = DiskSim::with_defaults();
+        let a = disk.alloc_file();
+        let b = disk.alloc_file();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn iostats_accumulate() {
+        let mut total = IoStats::default();
+        let d = IoStats { seeks: 2, seq_reads: 3, page_writes: 1, elapsed_ms: 12.0 };
+        total.add(&d);
+        total.add(&d);
+        assert_eq!(total.seeks, 4);
+        assert_eq!(total.pages(), 12);
+        assert!(close(total.elapsed_ms, 24.0));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by the storage substrate.
+
+use std::fmt;
+
+/// Errors surfaced by the storage layer.
+///
+/// The simulator is deliberately strict: out-of-range accesses are bugs in
+/// the caller (an index handing out a stale RID, a bucket directory past
+/// the end of the heap) and are reported rather than silently clamped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A RID referenced a slot that does not exist in the heap file.
+    RidOutOfRange {
+        /// The offending RID (as a raw row ordinal).
+        rid: u64,
+        /// Number of rows currently in the heap.
+        len: u64,
+    },
+    /// A page number referenced a page that does not exist in the file.
+    PageOutOfRange {
+        /// The offending page number.
+        page: u64,
+        /// Number of pages in the file.
+        pages: u64,
+    },
+    /// A row did not match the schema it was inserted under.
+    SchemaMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A column name could not be resolved against a schema.
+    UnknownColumn {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::RidOutOfRange { rid, len } => {
+                write!(f, "rid {rid} out of range (heap has {len} rows)")
+            }
+            StorageError::PageOutOfRange { page, pages } => {
+                write!(f, "page {page} out of range (file has {pages} pages)")
+            }
+            StorageError::SchemaMismatch { detail } => {
+                write!(f, "schema mismatch: {detail}")
+            }
+            StorageError::UnknownColumn { name } => {
+                write!(f, "unknown column: {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::RidOutOfRange { rid: 9, len: 3 };
+        assert_eq!(e.to_string(), "rid 9 out of range (heap has 3 rows)");
+        let e = StorageError::PageOutOfRange { page: 5, pages: 2 };
+        assert_eq!(e.to_string(), "page 5 out of range (file has 2 pages)");
+        let e = StorageError::UnknownColumn { name: "zip".into() };
+        assert_eq!(e.to_string(), "unknown column: zip");
+        let e = StorageError::SchemaMismatch { detail: "arity 2 != 3".into() };
+        assert!(e.to_string().contains("arity"));
+    }
+}

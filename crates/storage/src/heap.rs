@@ -1,0 +1,286 @@
+//! Paged heap files.
+//!
+//! A [`HeapFile`] stores rows densely, `tups_per_page` per page, in load
+//! order. "Clustering on attribute A" — what the paper obtains with
+//! PostgreSQL's `CLUSTER` command — is achieved by bulk-loading rows sorted
+//! on A; the clustered index and the CM bucket directory are then built on
+//! top. Appends go to the tail, which is exactly how a clustered-once table
+//! degrades under inserts in PostgreSQL.
+
+use crate::disk::{DiskSim, FileId, PageAccessor};
+use crate::error::StorageError;
+use crate::rid::Rid;
+use crate::schema::{Row, Schema};
+use crate::Result;
+use std::sync::Arc;
+
+/// A paged, append-only heap of rows.
+pub struct HeapFile {
+    schema: Arc<Schema>,
+    file: FileId,
+    rows: Vec<Row>,
+    tups_per_page: usize,
+}
+
+impl HeapFile {
+    /// Bulk-load a heap file. The caller controls clustering by sorting
+    /// `rows` before loading (see [`HeapFile::bulk_load_clustered`]).
+    ///
+    /// No I/O is charged for the load itself; the experiments measure query
+    /// and maintenance cost, not initial load (the paper's tables are built
+    /// before measurement begins).
+    pub fn bulk_load(
+        disk: &DiskSim,
+        schema: Arc<Schema>,
+        rows: Vec<Row>,
+        tups_per_page: usize,
+    ) -> Result<Self> {
+        assert!(tups_per_page > 0, "tups_per_page must be positive");
+        if let Some(row) = rows.first() {
+            schema.validate(row)?;
+        }
+        Ok(HeapFile { schema, file: disk.alloc_file(), rows, tups_per_page })
+    }
+
+    /// Bulk-load clustered on a column: rows are sorted by that column
+    /// (ties keep their input order, so secondary correlations survive as
+    /// they would under PostgreSQL's `CLUSTER`).
+    pub fn bulk_load_clustered(
+        disk: &DiskSim,
+        schema: Arc<Schema>,
+        mut rows: Vec<Row>,
+        tups_per_page: usize,
+        cluster_col: usize,
+    ) -> Result<Self> {
+        rows.sort_by(|a, b| a[cluster_col].cmp(&b[cluster_col]));
+        Self::bulk_load(disk, schema, rows, tups_per_page)
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The simulated file this heap is charged against.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Tuples per page.
+    pub fn tups_per_page(&self) -> usize {
+        self.tups_per_page
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of pages (`ceil(len / tups_per_page)`).
+    pub fn num_pages(&self) -> u64 {
+        (self.rows.len() as u64).div_ceil(self.tups_per_page as u64)
+    }
+
+    /// Page number of a RID.
+    pub fn page_of(&self, rid: Rid) -> u64 {
+        rid.page(self.tups_per_page)
+    }
+
+    /// Fetch one row by RID, charging a read of its page.
+    pub fn fetch(&self, io: &dyn PageAccessor, rid: Rid) -> Result<&Row> {
+        let row = self.peek(rid)?;
+        io.read(self.file, self.page_of(rid));
+        Ok(row)
+    }
+
+    /// Read one row without charging I/O (for building statistics and
+    /// structures outside the measured window).
+    pub fn peek(&self, rid: Rid) -> Result<&Row> {
+        self.rows.get(rid.0 as usize).ok_or(StorageError::RidOutOfRange {
+            rid: rid.0,
+            len: self.rows.len() as u64,
+        })
+    }
+
+    /// The rows on one page, charging a read of that page.
+    pub fn read_page(&self, io: &dyn PageAccessor, page: u64) -> Result<&[Row]> {
+        if page >= self.num_pages() {
+            return Err(StorageError::PageOutOfRange { page, pages: self.num_pages() });
+        }
+        io.read(self.file, page);
+        let lo = page as usize * self.tups_per_page;
+        let hi = (lo + self.tups_per_page).min(self.rows.len());
+        Ok(&self.rows[lo..hi])
+    }
+
+    /// RID range `[lo, hi)` of the rows stored on `page`.
+    pub fn page_rid_range(&self, page: u64) -> (Rid, Rid) {
+        let lo = page * self.tups_per_page as u64;
+        let hi = (lo + self.tups_per_page as u64).min(self.len());
+        (Rid(lo), Rid(hi))
+    }
+
+    /// Iterate all rows with their RIDs, charging nothing (structure
+    /// construction). Use [`HeapFile::read_page`] in measured code.
+    pub fn iter(&self) -> impl Iterator<Item = (Rid, &Row)> {
+        self.rows.iter().enumerate().map(|(i, r)| (Rid(i as u64), r))
+    }
+
+    /// Append a row to the tail, charging a write of the tail page, and
+    /// return its RID. This is the INSERT path of the maintenance
+    /// experiments (Experiment 3).
+    pub fn append(&mut self, io: &dyn PageAccessor, row: Row) -> Result<Rid> {
+        self.schema.validate(&row)?;
+        let rid = Rid(self.rows.len() as u64);
+        self.rows.push(row);
+        io.write(self.file, self.page_of(rid));
+        Ok(rid)
+    }
+
+    /// Remove a row by RID. The slot is tombstoned (set to all-NULL) rather
+    /// than compacted, as in a real heap; the caller (indexes, CMs) is
+    /// responsible for unindexing first. Charges a write of the page.
+    pub fn delete(&mut self, io: &dyn PageAccessor, rid: Rid) -> Result<Row> {
+        let arity = self.schema.arity();
+        let len = self.rows.len() as u64;
+        let slot = self
+            .rows
+            .get_mut(rid.0 as usize)
+            .ok_or(StorageError::RidOutOfRange { rid: rid.0, len })?;
+        let old = std::mem::replace(slot, vec![crate::value::Value::Null; arity]);
+        io.write(self.file, rid.page(self.tups_per_page));
+        Ok(old)
+    }
+
+    /// Column value of a row, uncharged.
+    pub fn peek_col(&self, rid: Rid, col: usize) -> Result<&crate::value::Value> {
+        Ok(&self.peek(rid)?[col])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ValueType};
+    use crate::value::Value;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::new(vec![
+            Column::new("k", ValueType::Int),
+            Column::new("v", ValueType::Str),
+        ]))
+    }
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| vec![Value::Int(i), Value::str(format!("r{i}"))]).collect()
+    }
+
+    #[test]
+    fn paging_math() {
+        let disk = DiskSim::with_defaults();
+        let h = HeapFile::bulk_load(&disk, schema(), rows(250), 100).unwrap();
+        assert_eq!(h.len(), 250);
+        assert_eq!(h.num_pages(), 3);
+        assert_eq!(h.page_of(Rid(0)), 0);
+        assert_eq!(h.page_of(Rid(99)), 0);
+        assert_eq!(h.page_of(Rid(100)), 1);
+        assert_eq!(h.page_of(Rid(249)), 2);
+        let (lo, hi) = h.page_rid_range(2);
+        assert_eq!((lo, hi), (Rid(200), Rid(250)));
+    }
+
+    #[test]
+    fn fetch_charges_page_read() {
+        let disk = DiskSim::with_defaults();
+        let h = HeapFile::bulk_load(&disk, schema(), rows(10), 4).unwrap();
+        let row = h.fetch(disk.as_ref(), Rid(5)).unwrap();
+        assert_eq!(row[0], Value::Int(5));
+        assert_eq!(disk.stats().seeks, 1);
+        // Peek does not charge.
+        let _ = h.peek(Rid(6)).unwrap();
+        assert_eq!(disk.stats().pages(), 1);
+    }
+
+    #[test]
+    fn read_page_returns_partial_tail_page() {
+        let disk = DiskSim::with_defaults();
+        let h = HeapFile::bulk_load(&disk, schema(), rows(10), 4).unwrap();
+        assert_eq!(h.read_page(disk.as_ref(), 0).unwrap().len(), 4);
+        assert_eq!(h.read_page(disk.as_ref(), 2).unwrap().len(), 2);
+        assert!(h.read_page(disk.as_ref(), 3).is_err());
+    }
+
+    #[test]
+    fn clustered_load_sorts_rows() {
+        let disk = DiskSim::with_defaults();
+        let mut input = rows(50);
+        // Shuffle deterministically by reversing.
+        input.reverse();
+        let h = HeapFile::bulk_load_clustered(&disk, schema(), input, 10, 0).unwrap();
+        let keys: Vec<i64> =
+            h.iter().map(|(_, r)| r[0].as_int().unwrap()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn clustered_load_is_stable_on_ties() {
+        let disk = DiskSim::with_defaults();
+        let input = vec![
+            vec![Value::Int(1), Value::str("first")],
+            vec![Value::Int(0), Value::str("zero")],
+            vec![Value::Int(1), Value::str("second")],
+        ];
+        let h = HeapFile::bulk_load_clustered(&disk, schema(), input, 10, 0).unwrap();
+        assert_eq!(h.peek(Rid(1)).unwrap()[1], Value::str("first"));
+        assert_eq!(h.peek(Rid(2)).unwrap()[1], Value::str("second"));
+    }
+
+    #[test]
+    fn append_goes_to_tail_and_charges_write() {
+        let disk = DiskSim::with_defaults();
+        let mut h = HeapFile::bulk_load(&disk, schema(), rows(5), 4).unwrap();
+        let rid = h.append(disk.as_ref(), vec![Value::Int(99), Value::str("new")]).unwrap();
+        assert_eq!(rid, Rid(5));
+        assert_eq!(h.page_of(rid), 1);
+        assert_eq!(disk.stats().page_writes, 1);
+        assert_eq!(h.peek(rid).unwrap()[0], Value::Int(99));
+    }
+
+    #[test]
+    fn append_rejects_schema_violation() {
+        let disk = DiskSim::with_defaults();
+        let mut h = HeapFile::bulk_load(&disk, schema(), rows(1), 4).unwrap();
+        assert!(h.append(disk.as_ref(), vec![Value::Int(0)]).is_err());
+        assert!(h
+            .append(disk.as_ref(), vec![Value::str("x"), Value::str("y")])
+            .is_err());
+    }
+
+    #[test]
+    fn delete_tombstones_slot() {
+        let disk = DiskSim::with_defaults();
+        let mut h = HeapFile::bulk_load(&disk, schema(), rows(3), 4).unwrap();
+        let old = h.delete(disk.as_ref(), Rid(1)).unwrap();
+        assert_eq!(old[0], Value::Int(1));
+        assert!(h.peek(Rid(1)).unwrap()[0].is_null());
+        assert_eq!(h.len(), 3, "tombstone keeps slots stable");
+        assert!(h.delete(disk.as_ref(), Rid(9)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rid_errors() {
+        let disk = DiskSim::with_defaults();
+        let h = HeapFile::bulk_load(&disk, schema(), rows(3), 4).unwrap();
+        assert!(matches!(
+            h.peek(Rid(3)),
+            Err(StorageError::RidOutOfRange { rid: 3, len: 3 })
+        ));
+    }
+}

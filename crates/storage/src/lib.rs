@@ -1,0 +1,51 @@
+//! # cm-storage
+//!
+//! Storage substrate for the Correlation Maps (VLDB 2009) reproduction.
+//!
+//! The paper runs on PostgreSQL over a 7200rpm disk and all of its
+//! experiments are disk-bound: what matters is the *pattern* of page
+//! accesses (random seeks vs. sequential reads), priced with the constants
+//! from Table 1 of the paper (`seek_cost = 5.5 ms`,
+//! `seq_page_cost = 0.078 ms`). This crate provides that substrate:
+//!
+//! * [`Value`], [`Schema`], [`Row`] — a small dynamically-typed tuple model
+//!   sufficient for the eBay / TPC-H / SDSS schemas used in the paper.
+//! * [`DiskSim`] — a simulated disk that records every page access and
+//!   charges seek or sequential cost depending on head position, exactly
+//!   the methodology the paper itself uses in §6.1.1 ("we simulated the
+//!   disk behavior by counting scanned pages and seeks").
+//! * [`HeapFile`] — a paged heap of rows; clustering is achieved by bulk
+//!   loading rows sorted on the clustered attribute.
+//! * [`BufferPool`] — a capacity-bounded page cache with dirty write-back,
+//!   reproducing the mechanism behind the paper's Experiment 3 (index
+//!   maintenance pressure on the buffer pool).
+//! * [`Wal`] — a write-ahead log whose flushes are charged to the disk,
+//!   used to give CMs recoverability comparable to B+Trees (§7.1).
+//!
+//! All higher layers (`cm-index`, `cm-core`, `cm-query`, …) charge their
+//! I/O through the [`PageAccessor`] trait so that an experiment can route
+//! accesses either straight to the simulated disk (cold runs) or through a
+//! buffer pool (mixed workloads).
+
+pub mod bufferpool;
+pub mod cache;
+pub mod disk;
+pub mod error;
+pub mod heap;
+pub mod rid;
+pub mod schema;
+pub mod value;
+pub mod wal;
+
+pub use bufferpool::{BufferPool, PoolStats};
+pub use cache::ReadCache;
+pub use disk::{DiskConfig, DiskSim, FileId, IoStats, PageAccessor};
+pub use error::StorageError;
+pub use heap::HeapFile;
+pub use rid::Rid;
+pub use schema::{Column, Row, Schema, ValueType};
+pub use value::{OrdF64, Value};
+pub use wal::Wal;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

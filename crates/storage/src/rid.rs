@@ -1,0 +1,60 @@
+//! Record identifiers.
+
+/// A record identifier: the ordinal position of a row in its heap file.
+///
+/// Because [`HeapFile`](crate::heap::HeapFile) stores a fixed number of
+/// tuples per page, the page number and slot are derived (`rid / tpp`,
+/// `rid % tpp`) rather than stored, matching the (page, slot) RIDs of the
+/// paper while staying a single machine word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rid(pub u64);
+
+impl Rid {
+    /// The page this RID lives on for a file with `tups_per_page` tuples
+    /// per page.
+    #[inline]
+    pub fn page(self, tups_per_page: usize) -> u64 {
+        self.0 / tups_per_page as u64
+    }
+
+    /// The slot within the page.
+    #[inline]
+    pub fn slot(self, tups_per_page: usize) -> usize {
+        (self.0 % tups_per_page as u64) as usize
+    }
+}
+
+impl From<u64> for Rid {
+    fn from(v: u64) -> Self {
+        Rid(v)
+    }
+}
+
+impl std::fmt::Display for Rid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rid:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_slot_derivation() {
+        let rid = Rid(1005);
+        assert_eq!(rid.page(100), 10);
+        assert_eq!(rid.slot(100), 5);
+        assert_eq!(Rid(0).page(64), 0);
+        assert_eq!(Rid(63).page(64), 0);
+        assert_eq!(Rid(64).page(64), 1);
+    }
+
+    #[test]
+    fn ordering_follows_heap_order() {
+        assert!(Rid(1) < Rid(2));
+        let mut v = vec![Rid(5), Rid(1), Rid(3)];
+        v.sort();
+        assert_eq!(v, vec![Rid(1), Rid(3), Rid(5)]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Write-ahead log.
+//!
+//! The paper's CM prototype keeps CMs in main memory but makes them
+//! recoverable by writing a WAL and flushing it during two-phase commit
+//! with PostgreSQL (§7.1). Experiment 3 counts "all costs involved in
+//! maintaining a CM, including transaction logging and 2PC". [`Wal`]
+//! models that: records accumulate in a buffer and [`Wal::commit`] forces
+//! them to the simulated disk — a seek to the log head plus sequential
+//! page writes, exactly like an `fsync` of an append-only file.
+
+use crate::disk::{DiskSim, FileId, IoStats, PageAccessor};
+use bytes::{BufMut, Bytes, BytesMut};
+use std::sync::Arc;
+
+/// An append-only, page-flushed log on the simulated disk.
+pub struct Wal {
+    disk: Arc<DiskSim>,
+    file: FileId,
+    /// Unflushed record bytes.
+    buffer: BytesMut,
+    /// Next page number to write.
+    next_page: u64,
+    /// Bytes at the front of `buffer` that were already made durable by a
+    /// previous commit (the unsealed tail page is kept buffered so it can
+    /// be rewritten in place).
+    tail_carry: usize,
+    /// Bytes already durably written.
+    durable_bytes: u64,
+    /// Records appended since creation.
+    records: u64,
+    page_bytes: usize,
+}
+
+impl Wal {
+    /// A new, empty log on `disk`.
+    pub fn new(disk: Arc<DiskSim>) -> Self {
+        let page_bytes = disk.config().page_bytes;
+        Wal {
+            file: disk.alloc_file(),
+            disk,
+            buffer: BytesMut::new(),
+            next_page: 0,
+            tail_carry: 0,
+            durable_bytes: 0,
+            records: 0,
+            page_bytes,
+        }
+    }
+
+    /// Append one record (length-prefixed) to the in-memory tail. No disk
+    /// cost until [`Wal::commit`].
+    pub fn append(&mut self, payload: &[u8]) {
+        self.buffer.put_u32_le(payload.len() as u32);
+        self.buffer.put_slice(payload);
+        self.records += 1;
+    }
+
+    /// Append a record described only by its size — most callers (index
+    /// and CM maintenance) only need the log volume to be right, not the
+    /// contents.
+    pub fn append_sized(&mut self, payload_len: usize) {
+        self.buffer.put_u32_le(payload_len as u32);
+        self.buffer.resize(self.buffer.len() + payload_len, 0);
+        self.records += 1;
+    }
+
+    /// Force the buffered tail to disk; returns the I/O charged.
+    ///
+    /// Even a tiny commit rewrites the current tail page (torn-page-safe
+    /// logging always flushes whole pages), so a commit is never free.
+    pub fn commit(&mut self) -> IoStats {
+        let before = self.disk.stats();
+        let total = self.buffer.len();
+        let pages = (total as u64).div_ceil(self.page_bytes as u64).max(1);
+        for i in 0..pages {
+            self.disk.write(self.file, self.next_page + i);
+        }
+        // All but the last page are full and permanently sealed; the tail
+        // page's content stays buffered so the next commit rewrites it.
+        self.next_page += pages - 1;
+        self.durable_bytes += (total - self.tail_carry) as u64;
+        let full = (total / self.page_bytes) * self.page_bytes;
+        let _ = self.buffer.split_to(full);
+        self.tail_carry = self.buffer.len();
+        self.disk.stats().since(&before)
+    }
+
+    /// Total bytes made durable so far.
+    pub fn durable_bytes(&self) -> u64 {
+        self.durable_bytes
+    }
+
+    /// Bytes appended but not yet committed.
+    pub fn pending_bytes(&self) -> u64 {
+        (self.buffer.len() - self.tail_carry) as u64
+    }
+
+    /// Number of records appended since creation.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The simulated file backing the log.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Freeze and return the current unflushed buffer (test hook).
+    pub fn pending_snapshot(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_charges_seek_plus_sequential_pages() {
+        let disk = DiskSim::with_defaults();
+        let mut wal = Wal::new(disk.clone());
+        // ~3 pages of records.
+        for _ in 0..3 {
+            wal.append_sized(8192 - 4);
+        }
+        let io = wal.commit();
+        assert_eq!(io.page_writes, 3);
+        assert!((io.elapsed_ms - (5.5 + 2.0 * 0.078)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_commit_still_writes_tail_page() {
+        let disk = DiskSim::with_defaults();
+        let mut wal = Wal::new(disk);
+        let io = wal.commit();
+        assert_eq!(io.page_writes, 1);
+    }
+
+    #[test]
+    fn small_commits_rewrite_tail_page() {
+        let disk = DiskSim::with_defaults();
+        let mut wal = Wal::new(disk);
+        wal.append(b"insert t1");
+        let io1 = wal.commit();
+        wal.append(b"insert t2");
+        let io2 = wal.commit();
+        assert_eq!(io1.page_writes, 1);
+        assert_eq!(io2.page_writes, 1);
+        assert_eq!(wal.records(), 2);
+    }
+
+    #[test]
+    fn durable_bytes_accumulate() {
+        let disk = DiskSim::with_defaults();
+        let mut wal = Wal::new(disk);
+        wal.append(b"abcd");
+        assert_eq!(wal.pending_bytes(), 8); // 4-byte length prefix
+        wal.commit();
+        assert_eq!(wal.durable_bytes(), 8);
+        assert_eq!(wal.pending_bytes(), 0);
+        wal.append_sized(100);
+        wal.commit();
+        assert_eq!(wal.durable_bytes(), 112);
+    }
+
+    #[test]
+    fn sealed_pages_are_not_rewritten() {
+        let disk = DiskSim::with_defaults();
+        let mut wal = Wal::new(disk.clone());
+        wal.append_sized(2 * 8192); // spills past two pages
+        wal.commit();
+        let before = disk.stats();
+        wal.append(b"tiny");
+        let io = wal.commit();
+        // Only the (third) tail page is rewritten, not the sealed ones.
+        assert_eq!(io.page_writes, 1);
+        assert_eq!(disk.stats().page_writes, before.page_writes + 1);
+    }
+
+    #[test]
+    fn pending_snapshot_reflects_buffer() {
+        let disk = DiskSim::with_defaults();
+        let mut wal = Wal::new(disk);
+        wal.append(b"xy");
+        let snap = wal.pending_snapshot();
+        assert_eq!(&snap[..4], &2u32.to_le_bytes());
+        assert_eq!(&snap[4..], b"xy");
+    }
+}

@@ -1,0 +1,112 @@
+//! Integration: every experiment regenerator runs end-to-end at smoke
+//! scale, produces a non-empty report, and renders to both console text
+//! and Markdown. This guards the `all_experiments` binary (and thereby
+//! `EXPERIMENTS.md`) against bit-rot.
+
+use cm_bench::datasets::BenchScale;
+use cm_bench::experiments;
+
+fn check(report: cm_bench::Report, expect_rows: bool) {
+    assert!(!report.id.is_empty());
+    assert!(!report.paper_expectation.is_empty(), "{}: paper context missing", report.id);
+    if expect_rows {
+        assert!(!report.rows.is_empty(), "{}: no data rows", report.id);
+    }
+    let text = report.to_text();
+    assert!(text.contains(&report.id));
+    let md = report.to_markdown();
+    assert!(md.starts_with(&format!("## {}", report.id)));
+}
+
+#[test]
+fn fig1_smoke() {
+    let r = experiments::fig1_access_patterns::run(BenchScale::Smoke);
+    assert!(r.preformatted.as_deref().unwrap_or("").contains('#'), "strips rendered");
+    check(r, true);
+}
+
+#[test]
+fn fig2_smoke() {
+    let r = experiments::fig2_sdss_clusterings::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 39, "one row per clustering attribute");
+    check(r, true);
+}
+
+#[test]
+fn fig3_smoke() {
+    let r = experiments::fig3_shipdate_lookups::run(BenchScale::Smoke);
+    check(r, true);
+}
+
+#[test]
+fn tab3_smoke() {
+    let r = experiments::tab3_clustered_bucketing::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 6, "six bucket sizes");
+    check(r, true);
+}
+
+#[test]
+fn tab4_smoke() {
+    let r = experiments::tab4_bucketing_candidates::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 4, "mode, type, psfMag_g, fieldID");
+    // Few-valued attributes stay raw.
+    assert_eq!(r.rows[0].cells[1], "none");
+    check(r, true);
+}
+
+#[test]
+fn tab5_smoke() {
+    let r = experiments::tab5_advisor_designs::run(BenchScale::Smoke);
+    assert!(r.commentary.contains("recommended"), "{}", r.commentary);
+    check(r, true);
+}
+
+#[test]
+fn fig6_smoke() {
+    let r = experiments::fig6_cm_vs_btree::run(BenchScale::Smoke);
+    check(r, true);
+}
+
+#[test]
+fn fig7_smoke() {
+    let r = experiments::fig7_bucket_sweep::run(BenchScale::Smoke);
+    check(r, true);
+}
+
+#[test]
+fn fig8_smoke() {
+    let r = experiments::fig8_maintenance::run(BenchScale::Smoke);
+    // The headline asymmetry must hold even at smoke scale.
+    let last = r.rows.last().unwrap();
+    let ratio: f64 = last.cells[2].trim_end_matches('x').parse().unwrap();
+    assert!(ratio > 1.5, "B+Tree maintenance must cost more (ratio {ratio})");
+    check(r, true);
+}
+
+#[test]
+fn fig9_smoke() {
+    let r = experiments::fig9_mixed_workload::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 4, "four configurations");
+    check(r, true);
+}
+
+#[test]
+fn fig10_smoke() {
+    let r = experiments::fig10_cost_model::run(BenchScale::Smoke);
+    assert!(r.rows.len() >= 4, "several c_per_u picks");
+    check(r, true);
+}
+
+#[test]
+fn tab6_smoke() {
+    let r = experiments::tab6_composite::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 4, "three CMs + one B+Tree");
+    check(r, true);
+}
+
+#[test]
+fn ablation_equidepth_smoke() {
+    let r = experiments::ablation_equidepth::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 3, "three query regions");
+    check(r, true);
+}
