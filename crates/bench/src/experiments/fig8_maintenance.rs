@@ -1,5 +1,8 @@
-//! **Figure 8 / Experiment 3** — cost of 500k insertions as the number
-//! of secondary B+Trees vs. CMs grows from 0 to 10.
+//! **Figure 8 / Experiment 3** — cost of bulk insertions as the number
+//! of secondary B+Trees vs. CMs grows from 0 to 10, with each
+//! configuration served by its own `cm-engine` instance (shared buffer
+//! pool + engine WAL + session inserts) instead of a hand-wired
+//! Table/BufferPool/Wal stack.
 //!
 //! The paper: B+Tree maintenance time deteriorates steeply with the
 //! index count (each index dirties more buffer-pool pages per INSERT,
@@ -7,12 +10,12 @@
 //! B+Trees), while CM maintenance stays level (~900 tuples/s at 10 CMs)
 //! because CMs are memory-resident; only WAL traffic grows.
 
-use crate::report::{ms, Report};
 use crate::datasets::{BenchScale, EBAY_TPP};
+use crate::report::{ms, Report};
 use cm_core::{CmAttr, CmSpec};
 use cm_datagen::ebay::{ebay, EbayConfig, COL_CATID, COL_ITEMID, COL_PRICE};
-use cm_query::Table;
-use cm_storage::{BufferPool, DiskSim, Row, Wal};
+use cm_engine::{Engine, EngineConfig};
+use cm_storage::Row;
 
 /// Buffer pool capacity in pages (small relative to the indexes' page
 /// count, as in the paper's 1 GB RAM vs multi-GB indexes).
@@ -41,25 +44,38 @@ fn cm_spec(i: usize) -> CmSpec {
     }
 }
 
-/// Insert all batches through a pool + WAL; returns simulated ms.
-fn run_inserts(
-    disk: &std::sync::Arc<DiskSim>,
-    table: &mut Table,
-    batches: &[Vec<Row>],
-) -> f64 {
-    let pool = BufferPool::new(disk.clone(), POOL_PAGES);
-    let mut wal = Wal::new(disk.clone());
-    disk.reset();
+/// Build an engine serving the eBay table with `n` access structures of
+/// one kind, insert all batches through a session (WAL group commit per
+/// batch), and return the simulated milliseconds.
+fn run_inserts(cfg: EbayConfig, n: usize, use_cms: bool, batches: &[Vec<Row>]) -> f64 {
+    let engine = Engine::new(EngineConfig {
+        pool_pages: POOL_PAGES,
+        ..EngineConfig::default()
+    });
+    let data = ebay(cfg);
+    engine
+        .create_table("items", data.schema.clone(), COL_CATID, EBAY_TPP, (EBAY_TPP * 10) as u64)
+        .expect("fresh catalog");
+    engine.load("items", data.rows).expect("rows conform");
+    for i in 0..n {
+        if use_cms {
+            engine.create_cm("items", format!("cm{i}"), cm_spec(i)).expect("CM");
+        } else {
+            engine
+                .create_btree("items", format!("idx{i}"), index_cols(i))
+                .expect("index");
+        }
+    }
+    let session = engine.session();
+    engine.disk().reset();
     for batch in batches {
         for row in batch {
-            table
-                .insert_row(&pool, Some(&mut wal), row.clone())
-                .expect("generated row conforms");
+            session.insert("items", row.clone()).expect("generated row conforms");
         }
-        wal.commit();
+        engine.commit();
     }
-    pool.flush_all();
-    disk.stats().elapsed_ms
+    engine.flush_pool();
+    engine.disk().stats().elapsed_ms
 }
 
 /// Run the experiment.
@@ -85,7 +101,7 @@ pub fn run(scale: BenchScale) -> Report {
 
     let mut report = Report::new(
         "fig8",
-        "Cost of bulk insertions vs number of indexes (eBay)",
+        "Cost of bulk insertions vs number of indexes (eBay, via cm-engine)",
         "B+Tree maintenance deteriorates steeply with index count (dirty-page \
          evictions); CM maintenance stays level (~30x gap at 10 indexes in the paper)",
         vec!["#indexes", "B+Tree maintenance", "CM maintenance", "ratio"],
@@ -93,40 +109,8 @@ pub fn run(scale: BenchScale) -> Report {
 
     let mut last_ratio = 1.0;
     for &n in &counts {
-        // B+Tree configuration.
-        let disk_b = DiskSim::with_defaults();
-        let data_b = ebay(cfg);
-        let mut tb = Table::build(
-            &disk_b,
-            data_b.schema.clone(),
-            data_b.rows,
-            EBAY_TPP,
-            COL_CATID,
-            (EBAY_TPP * 10) as u64,
-        )
-        .expect("rows conform");
-        for i in 0..n {
-            tb.add_secondary(&disk_b, format!("idx{i}"), index_cols(i));
-        }
-        let bt_ms = run_inserts(&disk_b, &mut tb, &batches);
-
-        // CM configuration.
-        let disk_c = DiskSim::with_defaults();
-        let data_c = ebay(cfg);
-        let mut tc = Table::build(
-            &disk_c,
-            data_c.schema.clone(),
-            data_c.rows,
-            EBAY_TPP,
-            COL_CATID,
-            (EBAY_TPP * 10) as u64,
-        )
-        .expect("rows conform");
-        for i in 0..n {
-            tc.add_cm(format!("cm{i}"), cm_spec(i));
-        }
-        let cm_ms = run_inserts(&disk_c, &mut tc, &batches);
-
+        let bt_ms = run_inserts(cfg, n, false, &batches);
+        let cm_ms = run_inserts(cfg, n, true, &batches);
         last_ratio = bt_ms / cm_ms.max(1e-9);
         report.push(
             n.to_string(),

@@ -4,6 +4,7 @@
 //! them at [`crate::datasets::BenchScale::Smoke`].
 
 pub mod ablation_equidepth;
+pub mod engine_mixed;
 pub mod fig1_access_patterns;
 pub mod fig2_sdss_clusterings;
 pub mod fig3_shipdate_lookups;
@@ -36,5 +37,6 @@ pub fn run_all(scale: BenchScale) -> Vec<Report> {
         fig10_cost_model::run(scale),
         tab6_composite::run(scale),
         ablation_equidepth::run(scale),
+        engine_mixed::run(scale),
     ]
 }

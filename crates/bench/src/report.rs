@@ -109,6 +109,48 @@ impl Report {
         out
     }
 
+    /// Render as a JSON object (hand-rolled: the workspace is built
+    /// offline, so no serde). Shape:
+    /// `{"id", "title", "paper", "measured", "columns": [...],
+    ///   "rows": [{"label", "cells": [...]}, ...]}`.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn arr(items: impl Iterator<Item = String>) -> String {
+            format!("[{}]", items.collect::<Vec<_>>().join(","))
+        }
+        let rows = arr(self.rows.iter().map(|r| {
+            format!(
+                "{{\"label\":\"{}\",\"cells\":{}}}",
+                esc(&r.label),
+                arr(r.cells.iter().map(|c| format!("\"{}\"", esc(c))))
+            )
+        }));
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"paper\":\"{}\",\"measured\":\"{}\",\
+             \"columns\":{},\"rows\":{}}}",
+            esc(&self.id),
+            esc(&self.title),
+            esc(&self.paper_expectation),
+            esc(&self.commentary),
+            arr(self.columns.iter().map(|c| format!("\"{}\"", esc(c)))),
+            rows
+        )
+    }
+
     fn render_table(&self) -> String {
         // Column widths from headers and cells.
         let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
@@ -197,6 +239,18 @@ mod tests {
         r.preformatted = Some("###..##".into());
         let md = r.to_markdown();
         assert!(md.contains("```text\n###..##\n```"));
+    }
+
+    #[test]
+    fn json_render_is_well_formed() {
+        let mut r = sample();
+        r.commentary = "has \"quotes\" and\nnewlines".into();
+        let j = r.to_json();
+        assert!(j.starts_with("{\"id\":\"figX\""));
+        assert!(j.contains("\"columns\":[\"n\",\"a\",\"b\"]"));
+        assert!(j.contains("{\"label\":\"2\",\"cells\":[\"11.0\",\"21.0\"]}"));
+        assert!(j.contains("has \\\"quotes\\\" and\\nnewlines"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

@@ -7,11 +7,11 @@
 //! without bucketing while sweeping `psfMag_g` through widths `2^2..2^16`.
 
 use cm_storage::Value;
-use serde::{Deserialize, Serialize};
+
 use std::sync::Arc;
 
 /// How one CM key attribute is bucketed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BucketSpec {
     /// Keep raw values (categorical / few-valued attributes).
     None,

@@ -200,7 +200,7 @@ impl EbayData {
         let mut rng = StdRng::seed_from_u64(seed);
         loop {
             let catid = rng.gen_range(0..self.category_paths.len());
-            let level = rng.gen_range(0..6);
+            let level = rng.gen_range(0..6usize);
             if let Some(name) = &self.category_paths[catid][level] {
                 return (COL_CAT1 + level, Value::Str(name.clone()));
             }

@@ -68,6 +68,7 @@ impl Default for TpchConfig {
 }
 
 /// A generated lineitem table.
+#[derive(Clone)]
 pub struct TpchData {
     /// `LINEITEM` schema.
     pub schema: Arc<Schema>,
@@ -108,7 +109,7 @@ pub fn tpch_lineitem(config: TpchConfig) -> TpchData {
     while rows.len() < config.rows {
         orderkey += 1;
         let orderdate = DATE_LO + rng.gen_range(0..DATE_SPAN);
-        let lines = rng.gen_range(1..=7);
+        let lines = rng.gen_range(1..=7i64);
         for linenumber in 1..=lines {
             if rows.len() >= config.rows {
                 break;
@@ -163,6 +164,17 @@ impl TpchData {
             out.insert(row[COL_SHIPDATE].as_date().unwrap());
         }
         out.into_iter().map(Value::Date).collect()
+    }
+
+    /// `n` fresh insertable rows resampled from the generated
+    /// distribution (preserving the shipdate↔receiptdate and
+    /// partkey↔suppkey correlations), deterministic in `seed`. Used by
+    /// maintenance and mixed-workload experiments.
+    pub fn insert_batch(&self, n: usize, seed: u64) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7C9);
+        (0..n)
+            .map(|_| self.rows[rng.gen_range(0..self.rows.len())].clone())
+            .collect()
     }
 }
 

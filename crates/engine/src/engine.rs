@@ -1,0 +1,731 @@
+//! The engine facade: catalog, shared I/O substrate, and cost-based
+//! access-path routing.
+
+use crate::error::EngineError;
+use crate::session::Session;
+use crate::Result;
+use cm_core::CmSpec;
+use cm_query::{AccessPath, ExecContext, PlanChoice, Planner, Query, RunResult, Table};
+use cm_storage::{
+    BufferPool, DiskConfig, DiskSim, IoStats, PoolStats, Rid, Row, Schema, Wal,
+};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Simulated-disk hardware parameters (paper, Table 1 by default).
+    pub disk: DiskConfig,
+    /// Shared buffer-pool capacity in pages.
+    pub pool_pages: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { disk: DiskConfig::default(), pool_pages: 1024 }
+    }
+}
+
+/// A table definition plus (once loaded) the table itself.
+struct TableSlot {
+    name: String,
+    schema: Arc<Schema>,
+    clustered_col: usize,
+    tups_per_page: usize,
+    bucket_target: u64,
+    table: Option<Table>,
+}
+
+impl TableSlot {
+    fn table(&self) -> Result<&Table> {
+        self.table.as_ref().ok_or_else(|| EngineError::NotLoaded(self.name.clone()))
+    }
+
+    fn table_mut(&mut self) -> Result<&mut Table> {
+        match self.table.as_mut() {
+            Some(t) => Ok(t),
+            None => Err(EngineError::NotLoaded(self.name.clone())),
+        }
+    }
+}
+
+/// Per-access-path routing counters (cumulative since engine start).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCounts {
+    /// Queries routed to a full table scan.
+    pub full_scan: u64,
+    /// Queries routed to a sorted (bitmap) secondary index scan.
+    pub secondary_sorted: u64,
+    /// Queries routed to a pipelined secondary index scan.
+    pub secondary_pipelined: u64,
+    /// Queries routed to a CM-guided scan.
+    pub cm_scan: u64,
+}
+
+impl RouteCounts {
+    /// Total routed queries.
+    pub fn total(&self) -> u64 {
+        self.full_scan + self.secondary_sorted + self.secondary_pipelined + self.cm_scan
+    }
+}
+
+/// Cumulative engine statistics.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Queries executed (routed + forced).
+    pub queries: u64,
+    /// Rows inserted.
+    pub inserts: u64,
+    /// Rows deleted.
+    pub deletes: u64,
+    /// Routing decisions by chosen path.
+    pub routes: RouteCounts,
+    /// Simulated disk counters since engine start.
+    pub io: IoStats,
+    /// Buffer-pool behaviour since engine start.
+    pub pool: PoolStats,
+    /// WAL records appended since engine start.
+    pub wal_records: u64,
+    /// WAL bytes made durable since engine start.
+    pub wal_durable_bytes: u64,
+}
+
+/// Outcome of one query execution through the engine.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The planner's decision (estimates for every candidate path). For
+    /// forced-path runs the chosen path is the forced one.
+    pub plan: PlanChoice,
+    /// Measured (simulated) execution of the chosen path.
+    pub run: RunResult,
+    /// Matching rows, if collection was requested.
+    pub rows: Option<Vec<Row>>,
+}
+
+/// Catalog summary for one table.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    /// Table name.
+    pub name: String,
+    /// Whether `load` has run.
+    pub loaded: bool,
+    /// Row count (0 until loaded).
+    pub rows: u64,
+    /// Heap pages (0 until loaded).
+    pub pages: u64,
+    /// Number of secondary B+Trees.
+    pub secondaries: usize,
+    /// Number of CMs.
+    pub cms: usize,
+}
+
+/// The concurrent engine facade. Construct with [`Engine::new`], share as
+/// `Arc<Engine>`, open per-connection handles with [`Engine::session`].
+pub struct Engine {
+    disk: Arc<DiskSim>,
+    pool: BufferPool,
+    wal: Mutex<Wal>,
+    planner: Planner,
+    catalog: RwLock<HashMap<String, Arc<RwLock<TableSlot>>>>,
+    queries: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    route_full: AtomicU64,
+    route_sorted: AtomicU64,
+    route_pipelined: AtomicU64,
+    route_cm: AtomicU64,
+}
+
+impl Engine {
+    /// Build an engine with its own simulated disk, buffer pool, and WAL.
+    pub fn new(config: EngineConfig) -> Arc<Self> {
+        let disk = DiskSim::new(config.disk);
+        let pool = BufferPool::new(disk.clone(), config.pool_pages);
+        let wal = Mutex::new(Wal::new(disk.clone()));
+        let planner = Planner::new(config.disk);
+        Arc::new(Engine {
+            disk,
+            pool,
+            wal,
+            planner,
+            catalog: RwLock::new(HashMap::new()),
+            queries: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            route_full: AtomicU64::new(0),
+            route_sorted: AtomicU64::new(0),
+            route_pipelined: AtomicU64::new(0),
+            route_cm: AtomicU64::new(0),
+        })
+    }
+
+    /// The shared simulated disk.
+    pub fn disk(&self) -> &Arc<DiskSim> {
+        &self.disk
+    }
+
+    /// The shared buffer pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Open a session handle (cheap; one per connection/thread).
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session::new(self.clone())
+    }
+
+    // ---- catalog ------------------------------------------------------
+
+    /// Register a table: its schema, clustered column, tuples per heap
+    /// page, and the clustered-bucket target (tuples per CM bucket).
+    /// The heap is built by the first [`Engine::load`] call.
+    pub fn create_table(
+        &self,
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+        clustered_col: usize,
+        tups_per_page: usize,
+        bucket_target: u64,
+    ) -> Result<()> {
+        let name = name.into();
+        if clustered_col >= schema.arity() {
+            return Err(EngineError::BadColumn { table: name, col: clustered_col });
+        }
+        let mut cat = self.catalog.write();
+        if cat.contains_key(&name) {
+            return Err(EngineError::DuplicateTable(name));
+        }
+        cat.insert(
+            name.clone(),
+            Arc::new(RwLock::new(TableSlot {
+                name,
+                schema,
+                clustered_col,
+                tups_per_page,
+                bucket_target,
+                table: None,
+            })),
+        );
+        Ok(())
+    }
+
+    /// Bulk-load rows, building the clustered heap, clustered index, and
+    /// bucket directory (rows are sorted on the clustered column by the
+    /// loader). One-shot: subsequent writes go through [`Engine::insert`].
+    pub fn load(&self, table: &str, rows: Vec<Row>) -> Result<u64> {
+        let slot = self.slot(table)?;
+        let mut slot = slot.write();
+        if slot.table.is_some() {
+            return Err(EngineError::AlreadyLoaded(slot.name.clone()));
+        }
+        let built = Table::build(
+            &self.disk,
+            slot.schema.clone(),
+            rows,
+            slot.tups_per_page,
+            slot.clustered_col,
+            slot.bucket_target,
+        )?;
+        let n = built.heap().len();
+        slot.table = Some(built);
+        Ok(n)
+    }
+
+    /// Create (and bulk-build) a secondary B+Tree on `cols`; returns its
+    /// id. Statistics for the leading column are refreshed so the planner
+    /// can cost the new index immediately.
+    pub fn create_btree(
+        &self,
+        table: &str,
+        index_name: impl Into<String>,
+        cols: Vec<usize>,
+    ) -> Result<usize> {
+        let slot = self.slot(table)?;
+        let mut slot = slot.write();
+        let arity = slot.schema.arity();
+        if let Some(&bad) = cols.iter().find(|&&c| c >= arity) {
+            return Err(EngineError::BadColumn { table: slot.name.clone(), col: bad });
+        }
+        let disk = self.disk.clone();
+        let analyze: Vec<usize> = cols.clone();
+        let t = slot.table_mut()?;
+        let id = t.add_secondary(&disk, index_name, cols);
+        t.analyze_cols(&analyze);
+        Ok(id)
+    }
+
+    /// Create (and build via the paper's Algorithm 1) a Correlation Map;
+    /// returns its id. Statistics for the CM's key columns are refreshed
+    /// so the planner can compare the CM against index paths.
+    pub fn create_cm(
+        &self,
+        table: &str,
+        cm_name: impl Into<String>,
+        spec: CmSpec,
+    ) -> Result<usize> {
+        let slot = self.slot(table)?;
+        let mut slot = slot.write();
+        let arity = slot.schema.arity();
+        if let Some(&bad) = spec.cols().iter().find(|&&c| c >= arity) {
+            return Err(EngineError::BadColumn { table: slot.name.clone(), col: bad });
+        }
+        let analyze = spec.cols();
+        let t = slot.table_mut()?;
+        let id = t.add_cm(cm_name, spec);
+        t.analyze_cols(&analyze);
+        Ok(id)
+    }
+
+    /// Refresh planner statistics for the given columns (the paper's
+    /// statistics scan; uncharged, as in the seed's `Table`).
+    pub fn analyze(&self, table: &str, cols: &[usize]) -> Result<()> {
+        let slot = self.slot(table)?;
+        let mut slot = slot.write();
+        slot.table_mut()?.analyze_cols(cols);
+        Ok(())
+    }
+
+    /// Names of every table in the catalog (sorted).
+    pub fn tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.catalog.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Catalog summary for one table.
+    pub fn table_info(&self, table: &str) -> Result<TableInfo> {
+        let slot = self.slot(table)?;
+        let slot = slot.read();
+        Ok(match &slot.table {
+            Some(t) => TableInfo {
+                name: slot.name.clone(),
+                loaded: true,
+                rows: t.heap().len(),
+                pages: t.heap().num_pages(),
+                secondaries: t.secondaries().len(),
+                cms: t.cms().len(),
+            },
+            None => TableInfo {
+                name: slot.name.clone(),
+                loaded: false,
+                rows: 0,
+                pages: 0,
+                secondaries: 0,
+                cms: 0,
+            },
+        })
+    }
+
+    /// Run `f` with shared (read-locked) access to a table — the escape
+    /// hatch for tooling layered on the engine, e.g. the CM Advisor.
+    pub fn with_table<R>(&self, table: &str, f: impl FnOnce(&Table) -> R) -> Result<R> {
+        let slot = self.slot(table)?;
+        let slot = slot.read();
+        Ok(f(slot.table()?))
+    }
+
+    // ---- queries ------------------------------------------------------
+
+    /// Execute a query, routing it to the access path the cost model
+    /// estimates cheapest. Reads go through the shared buffer pool.
+    pub fn execute(&self, table: &str, q: &Query) -> Result<QueryOutcome> {
+        self.execute_inner(table, q, None, false, false)
+    }
+
+    /// [`Engine::execute`], also collecting the matching rows.
+    pub fn execute_collect(&self, table: &str, q: &Query) -> Result<QueryOutcome> {
+        self.execute_inner(table, q, None, true, false)
+    }
+
+    /// Execute through a specific access path (experiments and oracles).
+    pub fn execute_via(
+        &self,
+        table: &str,
+        path: AccessPath,
+        q: &Query,
+    ) -> Result<QueryOutcome> {
+        self.execute_inner(table, q, Some(path), false, false)
+    }
+
+    /// [`Engine::execute_via`], also collecting the matching rows.
+    pub fn execute_via_collect(
+        &self,
+        table: &str,
+        path: AccessPath,
+        q: &Query,
+    ) -> Result<QueryOutcome> {
+        self.execute_inner(table, q, Some(path), true, false)
+    }
+
+    /// The planner's decision for a query, without executing it.
+    pub fn explain(&self, table: &str, q: &Query) -> Result<PlanChoice> {
+        let slot = self.slot(table)?;
+        let slot = slot.read();
+        Ok(self.planner.choose(slot.table()?, q))
+    }
+
+    pub(crate) fn execute_inner(
+        &self,
+        table: &str,
+        q: &Query,
+        forced: Option<AccessPath>,
+        collect: bool,
+        cold: bool,
+    ) -> Result<QueryOutcome> {
+        let slot = self.slot(table)?;
+        let slot = slot.read();
+        let t = slot.table()?;
+        let mut plan = self.planner.choose(t, q);
+        let path = match forced {
+            Some(p) => {
+                plan.path = p;
+                // A forced path the planner didn't cost (no statistics, or
+                // no predicate on the index's leading column) has no
+                // estimate; NaN keeps that visible instead of borrowing
+                // the cheapest path's number.
+                plan.est_ms = plan
+                    .alternatives
+                    .iter()
+                    .find(|(alt, _)| *alt == p)
+                    .map(|(_, est)| *est)
+                    .unwrap_or(f64::NAN);
+                p
+            }
+            None => {
+                self.note_route(plan.path);
+                plan.path
+            }
+        };
+        let ctx = if cold {
+            ExecContext::cold(&self.disk)
+        } else {
+            ExecContext::through(&self.disk, &self.pool)
+        };
+        let mut rows: Vec<Row> = Vec::new();
+        let run = {
+            let mut visit = |row: &[cm_storage::Value]| {
+                if collect {
+                    rows.push(row.to_vec());
+                }
+            };
+            match path {
+                AccessPath::FullScan => t.exec_full_scan_visit(&ctx, q, &mut visit),
+                AccessPath::SecondarySorted(id) => {
+                    t.exec_secondary_sorted_visit(&ctx, id, q, &mut visit)
+                }
+                AccessPath::SecondaryPipelined(id) => {
+                    t.exec_secondary_pipelined_visit(&ctx, id, q, &mut visit)
+                }
+                AccessPath::CmScan(id) => t.exec_cm_scan_visit(&ctx, id, q, &mut visit),
+            }
+        };
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(QueryOutcome { plan, run, rows: collect.then_some(rows) })
+    }
+
+    // ---- writes -------------------------------------------------------
+
+    /// INSERT one row, maintaining every access structure (heap write
+    /// through the shared pool, B+Tree postings charged, CM updates
+    /// memory-only) and logging to the engine WAL. Call
+    /// [`Engine::commit`] to force the log.
+    pub fn insert(&self, table: &str, row: Row) -> Result<Rid> {
+        let slot = self.slot(table)?;
+        let mut slot = slot.write();
+        let t = slot.table_mut()?;
+        let mut wal = self.wal.lock();
+        let rid = t.insert_row(&self.pool, Some(&mut wal), row)?;
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        Ok(rid)
+    }
+
+    /// DELETE one row by RID, retracting it from every access structure.
+    pub fn delete(&self, table: &str, rid: Rid) -> Result<Row> {
+        let slot = self.slot(table)?;
+        let mut slot = slot.write();
+        let t = slot.table_mut()?;
+        let mut wal = self.wal.lock();
+        let row = t.delete_row(&self.pool, Some(&mut wal), rid)?;
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(row)
+    }
+
+    /// DELETE every row matching `q` (found by a charged full scan);
+    /// returns the victims' RIDs.
+    pub fn delete_where(&self, table: &str, q: &Query) -> Result<Vec<Rid>> {
+        let slot = self.slot(table)?;
+        let mut slot = slot.write();
+        let t = slot.table_mut()?;
+        let mut victims: Vec<Rid> = Vec::new();
+        for page in 0..t.heap().num_pages() {
+            let (start, _) = t.heap().page_rid_range(page);
+            let rows = t.heap().read_page(&self.pool, page)?;
+            for (i, row) in rows.iter().enumerate() {
+                if q.matches(row) {
+                    victims.push(Rid(start.0 + i as u64));
+                }
+            }
+        }
+        let mut wal = self.wal.lock();
+        for &rid in &victims {
+            t.delete_row(&self.pool, Some(&mut wal), rid)?;
+            self.deletes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(victims)
+    }
+
+    /// Force the WAL to disk (group commit point); returns the I/O
+    /// charged for the flush.
+    pub fn commit(&self) -> IoStats {
+        self.wal.lock().commit()
+    }
+
+    /// Flush the buffer pool (between-trial cache flushing, as in the
+    /// paper's methodology); returns the I/O charged.
+    pub fn flush_pool(&self) -> IoStats {
+        self.pool.flush_all()
+    }
+
+    // ---- statistics ---------------------------------------------------
+
+    /// Cumulative engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        let wal = self.wal.lock();
+        EngineStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            routes: self.route_counts(),
+            io: self.disk.stats(),
+            pool: self.pool.stats(),
+            wal_records: wal.records(),
+            wal_durable_bytes: wal.durable_bytes(),
+        }
+    }
+
+    /// Routing decisions by chosen path (cost-based executions only;
+    /// forced paths are not counted).
+    pub fn route_counts(&self) -> RouteCounts {
+        RouteCounts {
+            full_scan: self.route_full.load(Ordering::Relaxed),
+            secondary_sorted: self.route_sorted.load(Ordering::Relaxed),
+            secondary_pipelined: self.route_pipelined.load(Ordering::Relaxed),
+            cm_scan: self.route_cm.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_route(&self, path: AccessPath) {
+        let counter = match path {
+            AccessPath::FullScan => &self.route_full,
+            AccessPath::SecondarySorted(_) => &self.route_sorted,
+            AccessPath::SecondaryPipelined(_) => &self.route_pipelined,
+            AccessPath::CmScan(_) => &self.route_cm,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn slot(&self, table: &str) -> Result<Arc<RwLock<TableSlot>>> {
+        self.catalog
+            .read()
+            .get(table)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))
+    }
+}
+
+// The engine must be shareable across session threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>()
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_core::CmSpec;
+    use cm_query::Pred;
+    use cm_storage::{Column, Value, ValueType};
+
+    fn demo_engine() -> Arc<Engine> {
+        let engine = Engine::new(EngineConfig::default());
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("catid", ValueType::Int),
+            Column::new("price", ValueType::Int),
+        ]));
+        engine.create_table("items", schema, 0, 20, 100).unwrap();
+        let rows: Vec<Row> = (0..5000i64)
+            .map(|i| {
+                let cat = i % 100;
+                vec![Value::Int(cat), Value::Int(cat * 100 + (i * 7) % 100)]
+            })
+            .collect();
+        engine.load("items", rows).unwrap();
+        engine
+    }
+
+    #[test]
+    fn create_load_query_roundtrip() {
+        let engine = demo_engine();
+        let info = engine.table_info("items").unwrap();
+        assert!(info.loaded);
+        assert_eq!(info.rows, 5000);
+        let out = engine
+            .execute("items", &Query::single(Pred::eq(0, 42i64)))
+            .unwrap();
+        assert_eq!(out.run.matched, 50);
+    }
+
+    #[test]
+    fn unknown_table_and_duplicates_error() {
+        let engine = demo_engine();
+        assert!(matches!(
+            engine.execute("nope", &Query::default()),
+            Err(EngineError::UnknownTable(_))
+        ));
+        let schema = Arc::new(Schema::new(vec![Column::new("x", ValueType::Int)]));
+        assert!(matches!(
+            engine.create_table("items", schema.clone(), 0, 10, 10),
+            Err(EngineError::DuplicateTable(_))
+        ));
+        engine.create_table("empty", schema, 0, 10, 10).unwrap();
+        assert!(matches!(
+            engine.execute("empty", &Query::default()),
+            Err(EngineError::NotLoaded(_))
+        ));
+    }
+
+    #[test]
+    fn load_twice_rejected() {
+        let engine = demo_engine();
+        assert!(matches!(
+            engine.load("items", vec![]),
+            Err(EngineError::AlreadyLoaded(_))
+        ));
+    }
+
+    #[test]
+    fn bad_columns_rejected() {
+        let engine = demo_engine();
+        assert!(matches!(
+            engine.create_btree("items", "bad", vec![7]),
+            Err(EngineError::BadColumn { col: 7, .. })
+        ));
+        assert!(matches!(
+            engine.create_cm("items", "bad", CmSpec::single_raw(9)),
+            Err(EngineError::BadColumn { col: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn cost_based_routing_prefers_cm_for_selective_predicate() {
+        let engine = demo_engine();
+        engine.create_cm("items", "price_cm", CmSpec::single_pow2(1, 4)).unwrap();
+        let out = engine
+            .execute("items", &Query::single(Pred::eq(1, 4217i64)))
+            .unwrap();
+        assert!(
+            matches!(out.plan.path, AccessPath::CmScan(_)),
+            "chose {:?}",
+            out.plan.path
+        );
+        assert_eq!(engine.route_counts().cm_scan, 1);
+    }
+
+    #[test]
+    fn routing_falls_back_to_scan_for_wide_predicate() {
+        let engine = demo_engine();
+        engine.create_cm("items", "price_cm", CmSpec::single_pow2(1, 4)).unwrap();
+        // The whole price domain: every bucket qualifies, the scan wins.
+        let out = engine
+            .execute("items", &Query::single(Pred::between(1, 0i64, 1_000_000i64)))
+            .unwrap();
+        assert_eq!(out.plan.path, AccessPath::FullScan, "alts {:?}", out.plan.alternatives);
+        assert_eq!(out.run.matched, 5000);
+    }
+
+    #[test]
+    fn forced_paths_agree_with_oracle() {
+        let engine = demo_engine();
+        let sec = engine.create_btree("items", "price_idx", vec![1]).unwrap();
+        let cm = engine.create_cm("items", "price_cm", CmSpec::single_pow2(1, 4)).unwrap();
+        let q = Query::single(Pred::between(1, 4200i64, 4400i64));
+        let oracle = engine
+            .execute_via_collect("items", AccessPath::FullScan, &q)
+            .unwrap();
+        for path in [
+            AccessPath::SecondarySorted(sec),
+            AccessPath::SecondaryPipelined(sec),
+            AccessPath::CmScan(cm),
+        ] {
+            let got = engine.execute_via_collect("items", path, &q).unwrap();
+            let mut a = got.rows.clone().unwrap();
+            let mut b = oracle.rows.clone().unwrap();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{path:?}");
+        }
+        // Forced paths are not counted as routing decisions.
+        assert_eq!(engine.route_counts().total(), 0);
+    }
+
+    #[test]
+    fn insert_delete_maintain_structures() {
+        let engine = demo_engine();
+        engine.create_btree("items", "price_idx", vec![1]).unwrap();
+        engine.create_cm("items", "price_cm", CmSpec::single_pow2(1, 4)).unwrap();
+        let q = Query::single(Pred::eq(1, 999_999i64));
+        assert_eq!(engine.execute("items", &q).unwrap().run.matched, 0);
+        let rid = engine
+            .insert("items", vec![Value::Int(99), Value::Int(999_999)])
+            .unwrap();
+        engine.commit();
+        assert_eq!(engine.execute("items", &q).unwrap().run.matched, 1);
+        let row = engine.delete("items", rid).unwrap();
+        assert_eq!(row[1], Value::Int(999_999));
+        assert_eq!(engine.execute("items", &q).unwrap().run.matched, 0);
+        let stats = engine.stats();
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.deletes, 1);
+        assert!(stats.wal_records >= 3, "heap + index + CM records");
+    }
+
+    #[test]
+    fn delete_where_removes_matches() {
+        let engine = demo_engine();
+        engine.create_cm("items", "price_cm", CmSpec::single_pow2(1, 4)).unwrap();
+        let q = Query::single(Pred::eq(0, 7i64));
+        let victims = engine.delete_where("items", &q).unwrap();
+        assert_eq!(victims.len(), 50);
+        assert_eq!(engine.execute("items", &q).unwrap().run.matched, 0);
+        // The rest of the table is intact (tombstones are NULL rows, so a
+        // ranged predicate excludes them).
+        let rest = engine
+            .execute("items", &Query::single(Pred::between(0, 0i64, 1_000_000i64)))
+            .unwrap();
+        assert_eq!(rest.run.matched, 5000 - 50);
+    }
+
+    #[test]
+    fn explain_matches_execute_choice() {
+        let engine = demo_engine();
+        engine.create_btree("items", "price_idx", vec![1]).unwrap();
+        let q = Query::single(Pred::eq(1, 1234i64));
+        let plan = engine.explain("items", &q).unwrap();
+        let out = engine.execute("items", &q).unwrap();
+        assert_eq!(plan.path, out.plan.path);
+        assert!(plan.alternatives.len() >= 3);
+    }
+
+    #[test]
+    fn warm_pool_makes_repeats_cheap() {
+        let engine = demo_engine();
+        let q = Query::single(Pred::eq(0, 3i64));
+        let cold = engine.execute("items", &q).unwrap();
+        let warm = engine.execute("items", &q).unwrap();
+        assert_eq!(cold.run.matched, warm.run.matched);
+        assert!(warm.run.ms() < 0.5 * cold.run.ms(), "{} vs {}", warm.run.ms(), cold.run.ms());
+    }
+}

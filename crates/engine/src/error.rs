@@ -1,0 +1,57 @@
+//! Engine error type.
+
+use cm_storage::StorageError;
+use std::fmt;
+
+/// Errors surfaced by the engine facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A storage-layer failure (bad row, out-of-range RID, ...).
+    Storage(StorageError),
+    /// No table with this name in the catalog.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// The table was created but `load` has not run yet.
+    NotLoaded(String),
+    /// `load` was already called for this table (it bulk-builds the
+    /// clustered heap once; use `insert` afterwards).
+    AlreadyLoaded(String),
+    /// A column index is out of range for the table's schema.
+    BadColumn {
+        /// Table name.
+        table: String,
+        /// Offending column position.
+        col: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            EngineError::DuplicateTable(t) => write!(f, "table {t:?} already exists"),
+            EngineError::NotLoaded(t) => write!(f, "table {t:?} has not been loaded"),
+            EngineError::AlreadyLoaded(t) => write!(f, "table {t:?} is already loaded"),
+            EngineError::BadColumn { table, col } => {
+                write!(f, "column {col} out of range for table {table:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}

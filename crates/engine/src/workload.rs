@@ -1,0 +1,262 @@
+//! Mixed read/write workload driver.
+//!
+//! Drives concurrent sessions against one engine table with a configured
+//! read fraction (e.g. 90/10), reproducing the *system-level* shape of
+//! the paper's Experiment 3: query traffic and index-maintenance traffic
+//! compete for the same buffer pool and disk, so every extra secondary
+//! B+Tree taxes both sides while CMs stay memory-resident.
+
+use crate::engine::{Engine, RouteCounts};
+use crate::Result;
+use cm_query::Query;
+use cm_storage::{IoStats, PoolStats, Row};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Mixed-workload parameters.
+#[derive(Debug, Clone)]
+pub struct MixedWorkloadConfig {
+    /// Target table.
+    pub table: String,
+    /// Pool of read queries; the driver draws from it uniformly.
+    pub reads: Vec<Query>,
+    /// Rows available for insertion; each is inserted at most once.
+    pub insert_rows: Vec<Row>,
+    /// Fraction of operations that are reads (e.g. `0.9`).
+    pub read_fraction: f64,
+    /// Total operations across all threads.
+    pub ops: usize,
+    /// Concurrent sessions.
+    pub threads: usize,
+    /// Operations between WAL group commits on each writer.
+    pub commit_every: usize,
+    /// Workload RNG seed (deterministic op mix per thread).
+    pub seed: u64,
+}
+
+/// What the driver measured.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Operations completed (reads + writes).
+    pub ops: u64,
+    /// Read operations completed.
+    pub reads: u64,
+    /// Write operations completed.
+    pub writes: u64,
+    /// Rows matched across all reads.
+    pub rows_matched: u64,
+    /// Simulated disk I/O charged during the run.
+    pub io: IoStats,
+    /// Buffer-pool deltas during the run.
+    pub pool: PoolStats,
+    /// Planner routing decisions during the run.
+    pub routes: RouteCounts,
+    /// Wall-clock milliseconds the driver ran for.
+    pub wall_ms: f64,
+    /// Operations per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Operations per simulated second (simulated-I/O throughput).
+    pub ops_per_sim_sec: f64,
+}
+
+/// Run a mixed workload against `engine`; blocks until every op is done.
+///
+/// Operations are split evenly across `threads` sessions. Each session
+/// draws its own deterministic op sequence: with probability
+/// `read_fraction` a read from `reads`, otherwise the next unclaimed row
+/// from `insert_rows` (writers fall back to reads once rows run out).
+pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<WorkloadReport> {
+    assert!(!cfg.reads.is_empty(), "workload needs at least one read query");
+    assert!((0.0..=1.0).contains(&cfg.read_fraction), "read_fraction in [0,1]");
+    assert!(cfg.threads > 0, "workload needs at least one thread");
+
+    let io_before = engine.disk().stats();
+    let pool_before = engine.pool().stats();
+    let routes_before = engine.route_counts();
+
+    let next_row = AtomicU64::new(0);
+    let reads_done = AtomicU64::new(0);
+    let writes_done = AtomicU64::new(0);
+    let matched = AtomicU64::new(0);
+    let first_err: parking_lot::Mutex<Option<crate::EngineError>> =
+        parking_lot::Mutex::new(None);
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..cfg.threads {
+            let ops = cfg.ops / cfg.threads + usize::from(t < cfg.ops % cfg.threads);
+            let session = engine.session();
+            let next_row = &next_row;
+            let reads_done = &reads_done;
+            let writes_done = &writes_done;
+            let matched = &matched;
+            let first_err = &first_err;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9E37));
+                let mut since_commit = 0usize;
+                for _ in 0..ops {
+                    let is_read = rng.gen_bool(cfg.read_fraction);
+                    let claimed = if is_read {
+                        None
+                    } else {
+                        let i = next_row.fetch_add(1, Ordering::Relaxed) as usize;
+                        cfg.insert_rows.get(i).cloned()
+                    };
+                    let result = match claimed {
+                        Some(row) => {
+                            since_commit += 1;
+                            let r = session.insert(&cfg.table, row).map(|_| ());
+                            if since_commit >= cfg.commit_every.max(1) {
+                                session.commit();
+                                since_commit = 0;
+                            }
+                            writes_done.fetch_add(1, Ordering::Relaxed);
+                            r
+                        }
+                        None => {
+                            let q = &cfg.reads[rng.gen_range(0..cfg.reads.len())];
+                            let r = session.execute(&cfg.table, q).map(|out| {
+                                matched.fetch_add(out.run.matched, Ordering::Relaxed);
+                            });
+                            reads_done.fetch_add(1, Ordering::Relaxed);
+                            r
+                        }
+                    };
+                    if let Err(e) = result {
+                        first_err.lock().get_or_insert(e);
+                        return;
+                    }
+                }
+                if since_commit > 0 {
+                    session.commit();
+                }
+            });
+        }
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    if let Some(e) = first_err.into_inner() {
+        return Err(e);
+    }
+
+    let io = engine.disk().stats().since(&io_before);
+    let pool_after = engine.pool().stats();
+    let routes_after = engine.route_counts();
+    let reads = reads_done.load(Ordering::Relaxed);
+    let writes = writes_done.load(Ordering::Relaxed);
+    let ops = reads + writes;
+    Ok(WorkloadReport {
+        ops,
+        reads,
+        writes,
+        rows_matched: matched.load(Ordering::Relaxed),
+        io,
+        pool: PoolStats {
+            hits: pool_after.hits - pool_before.hits,
+            misses: pool_after.misses - pool_before.misses,
+            dirty_evictions: pool_after.dirty_evictions - pool_before.dirty_evictions,
+            clean_evictions: pool_after.clean_evictions - pool_before.clean_evictions,
+        },
+        routes: RouteCounts {
+            full_scan: routes_after.full_scan - routes_before.full_scan,
+            secondary_sorted: routes_after.secondary_sorted - routes_before.secondary_sorted,
+            secondary_pipelined: routes_after.secondary_pipelined
+                - routes_before.secondary_pipelined,
+            cm_scan: routes_after.cm_scan - routes_before.cm_scan,
+        },
+        wall_ms,
+        ops_per_sec: if wall_ms > 0.0 { ops as f64 / (wall_ms / 1000.0) } else { 0.0 },
+        ops_per_sim_sec: if io.elapsed_ms > 0.0 {
+            ops as f64 / (io.elapsed_ms / 1000.0)
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use cm_core::CmSpec;
+    use cm_query::Pred;
+    use cm_storage::{Column, Schema, Value, ValueType};
+
+    fn engine_with_cm() -> Arc<Engine> {
+        let engine = Engine::new(EngineConfig::default());
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("catid", ValueType::Int),
+            Column::new("price", ValueType::Int),
+        ]));
+        engine.create_table("items", schema, 0, 20, 100).unwrap();
+        let rows: Vec<Row> = (0..4000i64)
+            .map(|i| {
+                let cat = i % 80;
+                vec![Value::Int(cat), Value::Int(cat * 100 + (i * 13) % 100)]
+            })
+            .collect();
+        engine.load("items", rows).unwrap();
+        engine.create_cm("items", "price_cm", CmSpec::single_pow2(1, 4)).unwrap();
+        engine
+    }
+
+    fn workload(read_fraction: f64, ops: usize, threads: usize) -> MixedWorkloadConfig {
+        MixedWorkloadConfig {
+            table: "items".into(),
+            reads: (0..20)
+                .map(|i| Query::single(Pred::eq(1, (i * 397) % 8000i64)))
+                .collect(),
+            insert_rows: (0..ops as i64)
+                .map(|i| vec![Value::Int(80 + i % 5), Value::Int(8000 + i)])
+                .collect(),
+            read_fraction,
+            ops,
+            threads,
+            commit_every: 16,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    #[test]
+    fn mixed_run_completes_all_ops() {
+        let engine = engine_with_cm();
+        let report = run_mixed(&engine, &workload(0.9, 400, 4)).unwrap();
+        assert_eq!(report.ops, 400);
+        assert!(report.reads > report.writes, "90/10 mix skews to reads");
+        assert!(report.io.elapsed_ms > 0.0);
+        assert!(report.ops_per_sim_sec > 0.0);
+        // Reads were cost-routed (mostly to the CM for these selective
+        // predicates).
+        assert_eq!(report.routes.total(), report.reads);
+        assert!(report.routes.cm_scan > 0, "routes: {:?}", report.routes);
+        // Inserted rows are visible afterwards.
+        let out = engine
+            .execute("items", &Query::single(Pred::between(1, 8000i64, 100_000i64)))
+            .unwrap();
+        assert_eq!(out.run.matched, report.writes);
+    }
+
+    #[test]
+    fn pure_read_workload_never_writes() {
+        let engine = engine_with_cm();
+        let report = run_mixed(&engine, &workload(1.0, 100, 2)).unwrap();
+        assert_eq!(report.writes, 0);
+        assert_eq!(report.reads, 100);
+        assert_eq!(engine.stats().inserts, 0);
+    }
+
+    #[test]
+    fn single_thread_is_deterministic_in_op_mix() {
+        let e1 = engine_with_cm();
+        let e2 = engine_with_cm();
+        let r1 = run_mixed(&e1, &workload(0.8, 200, 1)).unwrap();
+        let r2 = run_mixed(&e2, &workload(0.8, 200, 1)).unwrap();
+        assert_eq!(r1.reads, r2.reads);
+        assert_eq!(r1.writes, r2.writes);
+        assert_eq!(r1.rows_matched, r2.rows_matched);
+        assert!((r1.io.elapsed_ms - r2.io.elapsed_ms).abs() < 1e-6);
+    }
+}

@@ -129,6 +129,17 @@ impl Table {
         sec_id: usize,
         q: &Query,
     ) -> RunResult {
+        self.exec_secondary_pipelined_visit(ctx, sec_id, q, |_| {})
+    }
+
+    /// Pipelined scan with a visitor over matching rows.
+    pub fn exec_secondary_pipelined_visit(
+        &self,
+        ctx: &ExecContext<'_>,
+        sec_id: usize,
+        q: &Query,
+        mut on_match: impl FnMut(&[Value]),
+    ) -> RunResult {
         let before = ctx.disk.stats();
         // Pipelined probes are deliberately uncached: the paper's model
         // charges every lookup a full descent (§3.1).
@@ -140,6 +151,7 @@ impl Table {
             examined += 1;
             if q.matches(row) {
                 matched += 1;
+                on_match(row);
             }
         }
         RunResult { matched, examined, io: ctx.disk.stats().since(&before) }

@@ -1,0 +1,191 @@
+//! In-tree shim for the subset of `criterion` this workspace's benches
+//! use. It runs each benchmark for the configured measurement time and
+//! prints mean iteration latency — no statistics, plots, or baselines,
+//! but `cargo bench` exercises every benchmark end-to-end and reports
+//! comparable numbers.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (ignored by the shim's timing).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per allocation.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    /// (iterations, total time) recorded by the last `iter*` call.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up (untimed).
+        let warm_end = Instant::now() + self.cfg.warm_up_time;
+        while Instant::now() < warm_end {
+            std::hint::black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let budget = self.cfg.measurement_time;
+        while iters < self.cfg.sample_size as u64 || start.elapsed() < budget {
+            std::hint::black_box(routine());
+            iters += 1;
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        let budget = self.cfg.measurement_time;
+        while iters < self.cfg.sample_size as u64 || spent < budget {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.result = Some((iters, spent));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+fn report(name: &str, result: Option<(u64, Duration)>) {
+    match result {
+        Some((iters, total)) if iters > 0 => {
+            let per = total.as_secs_f64() / iters as f64;
+            let (value, unit) = if per >= 1.0 {
+                (per, "s")
+            } else if per >= 1e-3 {
+                (per * 1e3, "ms")
+            } else if per >= 1e-6 {
+                (per * 1e6, "µs")
+            } else {
+                (per * 1e9, "ns")
+            };
+            println!("{name:<40} {value:>10.3} {unit}/iter  ({iters} iters)");
+        }
+        _ => println!("{name:<40} (no measurement)"),
+    }
+}
+
+impl Criterion {
+    /// Set the minimum iteration count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Set the untimed warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { cfg: &self.cfg, result: None };
+        f(&mut b);
+        report(name, b.result);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("-- group {name} --");
+        BenchmarkGroup { criterion: self, group: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.group, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group: either `criterion_group!(name, targets...)`
+/// or the long form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

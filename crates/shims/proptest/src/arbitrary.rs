@@ -1,0 +1,12 @@
+//! `any::<T>()` — arbitrary values of primitive types.
+
+use crate::strategy::{Any, Strategy};
+use std::marker::PhantomData;
+
+/// A strategy producing arbitrary values of `T` (primitives only).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}

@@ -1,0 +1,68 @@
+//! Collection strategies: `vec` and `btree_set` with exact or ranged
+//! sizes.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Sizes accepted by collection strategies: a fixed `usize` or a range.
+pub trait IntoSizeRange {
+    /// Draw a concrete size.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + (rng.next_u64() as usize) % (self.end - self.start)
+    }
+}
+
+/// Strategy producing `Vec`s of elements from `element`.
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, size)`.
+pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+/// Strategy producing `BTreeSet`s; duplicates collapse, so the final size
+/// may be below the drawn size (matching real proptest's semantics).
+pub struct BTreeSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: IntoSizeRange> Strategy for BTreeSetStrategy<S, R>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `prop::collection::btree_set(element, size)`.
+pub fn btree_set<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> BTreeSetStrategy<S, R> {
+    BTreeSetStrategy { element, size }
+}

@@ -1,0 +1,75 @@
+//! In-tree shim for the subset of `proptest` this workspace's property
+//! tests use: strategies over primitive ranges, tuples, collections,
+//! `prop_map`, `prop_oneof!`, and the `proptest!` macro. Cases are
+//! generated from a deterministic per-test RNG; there is no shrinking —
+//! failures panic with the generated inputs embedded in the message.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Define property tests: an optional `#![proptest_config(..)]` followed
+/// by `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(#[$attr:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            $(let $arg = &($strat);)*
+            for __case in 0..__cfg.cases {
+                $(let $arg = $arg.sample(&mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($cfg:expr;) => {};
+}
+
+/// Uniform choice among strategy alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alt:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($alt)),+
+        ])
+    };
+}
+
+/// Assert a condition inside a property (panics with the formatted
+/// message on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}

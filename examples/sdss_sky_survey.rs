@@ -1,10 +1,11 @@
-//! Sky-survey scenario (the paper's SDSS dataset, Experiment 5).
+//! Sky-survey scenario (the paper's SDSS dataset, Experiment 5), served
+//! by the `cm-engine` facade.
 //!
 //! Neither right ascension nor declination alone predicts where an
 //! object lives in an `objID`-clustered table — but the *pair* does.
-//! This example builds single-attribute CMs, a composite CM, and a
-//! composite B+Tree, and runs the paper's two-range query against all
-//! four, reproducing Table 6's ordering.
+//! This example registers single-attribute CMs, a composite CM, and a
+//! composite B+Tree with the engine and runs the paper's two-range query
+//! against all four, reproducing Table 6's ordering.
 //!
 //! ```text
 //! cargo run --release -p examples-host --example sdss_sky_survey
@@ -12,77 +13,98 @@
 
 use cm_core::{BucketSpec, CmAttr, CmSpec};
 use cm_datagen::sdss::{sdss, SdssConfig, COL_DEC, COL_OBJID, COL_RA};
-use cm_query::{ExecContext, Pred, Query, Table};
-use cm_storage::DiskSim;
+use cm_engine::{Engine, EngineConfig};
+use cm_query::{AccessPath, Pred, Query};
 
 fn main() {
     // ---- 1. Generate the sky and cluster on objID ----------------------
     let data = sdss(SdssConfig { rows: 50_000, fields: 251, stripes: 20, seed: 5 });
-    let disk = DiskSim::with_defaults();
-    let mut photo = Table::build(&disk, data.schema.clone(), data.rows.clone(), 25, COL_OBJID, 250)
-        .expect("generated rows conform");
+    let engine = Engine::new(EngineConfig::default());
+    engine
+        .create_table("photo_tag", data.schema.clone(), COL_OBJID, 25, 250)
+        .expect("fresh catalog");
+    engine.load("photo_tag", data.rows.clone()).expect("generated rows conform");
+    let info = engine.table_info("photo_tag").expect("table exists");
     println!(
         "PhotoTag: {} objects over {} pages, clustered on objID (telescope scan order)",
-        photo.heap().len(),
-        photo.heap().num_pages()
+        info.rows, info.pages
     );
 
-    // ---- 2. Four access structures --------------------------------------
-    let cm_ra = photo.add_cm(
-        "cm_ra",
-        CmSpec::new(vec![CmAttr { col: COL_RA, bucket: BucketSpec::covering(0.0, 360.0, 4096) }]),
-    );
-    let cm_dec = photo.add_cm(
-        "cm_dec",
-        CmSpec::new(vec![CmAttr {
-            col: COL_DEC,
-            bucket: BucketSpec::covering(-10.0, 10.0, 16_384),
-        }]),
-    );
-    let cm_pair = photo.add_cm(
-        "cm_ra_dec",
-        CmSpec::new(vec![
-            CmAttr { col: COL_RA, bucket: BucketSpec::covering(0.0, 360.0, 16_384) },
-            CmAttr { col: COL_DEC, bucket: BucketSpec::covering(-10.0, 10.0, 65_536) },
-        ]),
-    );
-    let bt_pair = photo.add_secondary(&disk, "btree_ra_dec", vec![COL_RA, COL_DEC]);
+    // ---- 2. Four access structures through the engine -------------------
+    let cm_ra = engine
+        .create_cm(
+            "photo_tag",
+            "cm_ra",
+            CmSpec::new(vec![CmAttr { col: COL_RA, bucket: BucketSpec::covering(0.0, 360.0, 4096) }]),
+        )
+        .unwrap();
+    let cm_dec = engine
+        .create_cm(
+            "photo_tag",
+            "cm_dec",
+            CmSpec::new(vec![CmAttr {
+                col: COL_DEC,
+                bucket: BucketSpec::covering(-10.0, 10.0, 16_384),
+            }]),
+        )
+        .unwrap();
+    let cm_pair = engine
+        .create_cm(
+            "photo_tag",
+            "cm_ra_dec",
+            CmSpec::new(vec![
+                CmAttr { col: COL_RA, bucket: BucketSpec::covering(0.0, 360.0, 16_384) },
+                CmAttr { col: COL_DEC, bucket: BucketSpec::covering(-10.0, 10.0, 65_536) },
+            ]),
+        )
+        .unwrap();
+    let bt_pair = engine
+        .create_btree("photo_tag", "btree_ra_dec", vec![COL_RA, COL_DEC])
+        .unwrap();
 
     // ---- 3. The two-range sky query -------------------------------------
     let q = Query::new(vec![
         Pred::between(COL_RA, 193.0, 197.0),
         Pred::between(COL_DEC, 1.4, 1.7),
     ]);
-    let ctx = ExecContext::cold(&disk);
+    // Cold session + disk reset between runs: each path is measured from
+    // the same head position, as the paper flushes caches between trials.
+    let mut session = engine.session();
+    session.set_cold_reads(true);
     println!("\nSELECT COUNT(*) WHERE ra IN [193,197] AND dec IN [1.4,1.7]:");
-    for (label, id, is_cm) in [
-        ("CM(ra)", cm_ra, true),
-        ("CM(dec)", cm_dec, true),
-        ("CM(ra,dec)", cm_pair, true),
-        ("B+Tree(ra,dec)", bt_pair, false),
+    for (label, path) in [
+        ("CM(ra)", AccessPath::CmScan(cm_ra)),
+        ("CM(dec)", AccessPath::CmScan(cm_dec)),
+        ("CM(ra,dec)", AccessPath::CmScan(cm_pair)),
+        ("B+Tree(ra,dec)", AccessPath::SecondarySorted(bt_pair)),
     ] {
-        disk.reset();
-        let r = if is_cm {
-            photo.exec_cm_scan(&ctx, id, &q)
-        } else {
-            photo.exec_secondary_sorted(&ctx, id, &q)
-        };
-        let size = if is_cm {
-            photo.cm(id).size_bytes()
-        } else {
-            photo.secondary(id).size_bytes()
-        };
+        engine.disk().reset();
+        let r = session.execute_via("photo_tag", path, &q).unwrap();
+        let size = engine
+            .with_table("photo_tag", |t| match path {
+                AccessPath::CmScan(id) => t.cm(id).size_bytes(),
+                AccessPath::SecondarySorted(id) => t.secondary(id).size_bytes(),
+                _ => 0,
+            })
+            .unwrap();
         println!(
             "  {:<15} {:>9.1} ms  {:>7} pages  {:>9} bytes  ({} matches)",
             label,
-            r.ms(),
-            r.io.pages(),
+            r.run.ms(),
+            r.run.io.pages(),
             size,
-            r.matched
+            r.run.matched
         );
     }
+
+    // The router reaches the same conclusion on its own.
+    let choice = engine.explain("photo_tag", &q).unwrap();
     println!(
-        "\nthe composite CM wins because (ra, dec) jointly determine the scan position \
+        "\nrouter picks {:?} (estimated {:.1} ms)",
+        choice.path, choice.est_ms
+    );
+    println!(
+        "the composite CM wins because (ra, dec) jointly determine the scan position \
          while each coordinate alone scatters across every declination stripe — and the \
          composite B+Tree can only use its ra prefix for the range."
     );

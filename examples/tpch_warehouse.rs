@@ -1,9 +1,10 @@
-//! Data-warehouse scenario (the paper's TPC-H dataset, §3.3–3.4).
+//! Data-warehouse scenario (the paper's TPC-H dataset, §3.3–3.4),
+//! served by two `cm-engine` instances — one per physical clustering.
 //!
 //! `shipdate` and `receiptdate` are tied by a soft FD (goods arrive 2, 4,
 //! or 5 days after shipping). Clustering `lineitem` on `receiptdate`
 //! makes a secondary structure on `shipdate` behave almost like a
-//! clustered index — and the cost-based planner knows it.
+//! clustered index — and the engine's cost-based router knows it.
 //!
 //! ```text
 //! cargo run --release -p examples-host --example tpch_warehouse
@@ -11,9 +12,25 @@
 
 use cm_core::CmSpec;
 use cm_datagen::tpch::{tpch_lineitem, TpchConfig, COL_ORDERKEY, COL_RECEIPTDATE, COL_SHIPDATE};
-use cm_query::{AccessPath, ExecContext, Planner, Pred, Query, Table};
+use cm_engine::{Engine, EngineConfig};
+use cm_query::{AccessPath, Pred, Query};
 use cm_stats::correlation_stats;
-use cm_storage::DiskSim;
+use std::sync::Arc;
+
+fn engine_clustered_on(
+    data: &cm_datagen::TpchData,
+    cluster_col: usize,
+) -> Arc<Engine> {
+    let engine = Engine::new(EngineConfig::default());
+    engine
+        .create_table("lineitem", data.schema.clone(), cluster_col, 60, 600)
+        .expect("fresh catalog");
+    engine.load("lineitem", data.rows.clone()).expect("rows conform");
+    engine
+        .create_btree("lineitem", "ship_idx", vec![COL_SHIPDATE])
+        .expect("index builds");
+    engine
+}
 
 fn main() {
     let data = tpch_lineitem(TpchConfig { rows: 100_000, parts: 5_000, suppliers: 250, seed: 3 });
@@ -28,60 +45,65 @@ fn main() {
         fd.c_per_u, fd.c_per_u, fd.distinct_c
     );
 
-    // ---- 2. Two clusterings of the same rows -----------------------------
-    let disk_good = DiskSim::with_defaults();
-    let mut good = Table::build(
-        &disk_good, data.schema.clone(), data.rows.clone(), 60, COL_RECEIPTDATE, 600,
-    )
-    .expect("rows conform");
-    let disk_bad = DiskSim::with_defaults();
-    let mut bad = Table::build(
-        &disk_bad, data.schema.clone(), data.rows.clone(), 60, COL_ORDERKEY, 600,
-    )
-    .expect("rows conform");
-    let sec_good = good.add_secondary(&disk_good, "ship_idx", vec![COL_SHIPDATE]);
-    let sec_bad = bad.add_secondary(&disk_bad, "ship_idx", vec![COL_SHIPDATE]);
-    let cm_good = good.add_cm("ship_cm", CmSpec::single_raw(COL_SHIPDATE));
+    // ---- 2. Two engines, two clusterings of the same rows ----------------
+    let good = engine_clustered_on(&data, COL_RECEIPTDATE);
+    let bad = engine_clustered_on(&data, COL_ORDERKEY);
+    let cm_good = good
+        .create_cm("lineitem", "ship_cm", CmSpec::single_raw(COL_SHIPDATE))
+        .expect("CM builds");
 
     // ---- 3. The Figure 3 query ------------------------------------------
     let q = Query::single(Pred::is_in(COL_SHIPDATE, data.random_shipdates(10, 42)));
-    let ctx_g = ExecContext::cold(&disk_good);
-    let ctx_b = ExecContext::cold(&disk_bad);
-    let r_btree_good = good.exec_secondary_sorted(&ctx_g, sec_good, &q);
-    let r_cm_good = good.exec_cm_scan(&ctx_g, cm_good, &q);
-    let r_btree_bad = bad.exec_secondary_sorted(&ctx_b, sec_bad, &q);
-    let r_scan = bad.exec_full_scan(&ctx_b, &q);
-    println!("\nshipdate IN (10 dates), {} matching rows:", r_scan.matched);
-    println!("  clustered receiptdate + B+Tree: {:>9.1} ms", r_btree_good.ms());
-    println!("  clustered receiptdate + CM    : {:>9.1} ms (CM is {} bytes)",
-        r_cm_good.ms(), good.cm(cm_good).size_bytes());
-    println!("  clustered orderkey   + B+Tree: {:>9.1} ms", r_btree_bad.ms());
-    println!("  full table scan               : {:>9.1} ms", r_scan.ms());
+    let mut s_good = good.session();
+    s_good.set_cold_reads(true);
+    let mut s_bad = bad.session();
+    s_bad.set_cold_reads(true);
+    let r_btree_good = s_good.execute_via("lineitem", AccessPath::SecondarySorted(0), &q).unwrap();
+    let r_cm_good = s_good.execute_via("lineitem", AccessPath::CmScan(cm_good), &q).unwrap();
+    let r_btree_bad = s_bad.execute_via("lineitem", AccessPath::SecondarySorted(0), &q).unwrap();
+    let r_scan = s_bad.execute_via("lineitem", AccessPath::FullScan, &q).unwrap();
+    let cm_bytes = good.with_table("lineitem", |t| t.cm(cm_good).size_bytes()).unwrap();
+    println!("\nshipdate IN (10 dates), {} matching rows:", r_scan.run.matched);
+    println!("  clustered receiptdate + B+Tree: {:>9.1} ms", r_btree_good.run.ms());
+    println!(
+        "  clustered receiptdate + CM    : {:>9.1} ms (CM is {cm_bytes} bytes)",
+        r_cm_good.run.ms()
+    );
+    println!("  clustered orderkey   + B+Tree: {:>9.1} ms", r_btree_bad.run.ms());
+    println!("  full table scan               : {:>9.1} ms", r_scan.run.ms());
 
-    // ---- 4. Let the planner decide ---------------------------------------
-    good.analyze_cols(&[COL_SHIPDATE]);
-    let planner = Planner::new(disk_good.config());
-    let choice = planner.choose(&good, &q);
-    let label = match choice.path {
-        AccessPath::FullScan => "full scan".to_string(),
-        AccessPath::SecondarySorted(i) => format!("sorted scan via {}", good.secondary(i).name()),
-        AccessPath::SecondaryPipelined(i) => {
-            format!("pipelined scan via {}", good.secondary(i).name())
-        }
-        AccessPath::CmScan(i) => format!("CM-guided scan via {}", good.cm(i).name()),
-    };
-    println!("\nplanner on the 10-date query: {label} (estimated {:.1} ms)", choice.est_ms);
+    // ---- 4. Let the engine's router decide -------------------------------
+    let choice = good.explain("lineitem", &q).unwrap();
+    let label = good
+        .with_table("lineitem", |t| match choice.path {
+            AccessPath::FullScan => "full scan".to_string(),
+            AccessPath::SecondarySorted(i) => {
+                format!("sorted scan via {}", t.secondary(i).name())
+            }
+            AccessPath::SecondaryPipelined(i) => {
+                format!("pipelined scan via {}", t.secondary(i).name())
+            }
+            AccessPath::CmScan(i) => format!("CM-guided scan via {}", t.cm(i).name()),
+        })
+        .unwrap();
+    println!("\nrouter on the 10-date query: {label} (estimated {:.1} ms)", choice.est_ms);
     for (path, est) in &choice.alternatives {
         println!("  candidate {:<28} est {:>9.1} ms", format!("{path:?}"), est);
     }
 
     // A selective single-date query flips the decision to an index path.
     let selective = Query::single(Pred::is_in(COL_SHIPDATE, data.random_shipdates(1, 7)));
-    let choice2 = planner.choose(&good, &selective);
+    let out = good.execute("lineitem", &selective).unwrap();
     println!(
-        "\nplanner on a single-date query: {:?} (estimated {:.1} ms) — selective \
-         lookups go through the correlated structures",
-        choice2.path, choice2.est_ms
+        "\nrouter on a single-date query: {:?} (estimated {:.1} ms, measured {:.1} ms) — \
+         selective lookups go through the correlated structures",
+        out.plan.path,
+        out.plan.est_ms,
+        out.run.ms()
     );
-    assert_ne!(choice2.path, AccessPath::FullScan);
+    assert_ne!(out.plan.path, AccessPath::FullScan);
+    println!(
+        "\nrouting tally for the receiptdate-clustered engine: {:?}",
+        good.route_counts()
+    );
 }

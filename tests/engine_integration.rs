@@ -1,0 +1,235 @@
+//! Integration: the `cm-engine` facade end to end — catalog, loading,
+//! cost-based access-path routing, result correctness against a full-scan
+//! oracle, maintenance consistency under inserts/deletes, and concurrent
+//! sessions over one engine.
+
+use cm_core::CmSpec;
+use cm_datagen::tpch::{self, tpch_lineitem, TpchConfig};
+use cm_engine::{run_mixed, Engine, EngineConfig, MixedWorkloadConfig};
+use cm_query::{AccessPath, Pred, Query};
+use cm_storage::Value;
+use std::sync::Arc;
+
+/// A TPC-H lineitem table served by an engine: clustered on receiptdate,
+/// with a B+Tree and a CM on the correlated shipdate column.
+fn tpch_engine() -> (Arc<Engine>, cm_datagen::TpchData, usize, usize) {
+    tpch_engine_with(30_000)
+}
+
+fn tpch_engine_with(rows: usize) -> (Arc<Engine>, cm_datagen::TpchData, usize, usize) {
+    let data = tpch_lineitem(TpchConfig { rows, parts: 1_000, suppliers: 50, seed: 77 });
+    let engine = Engine::new(EngineConfig::default());
+    engine
+        .create_table("lineitem", data.schema.clone(), tpch::COL_RECEIPTDATE, 60, 600)
+        .unwrap();
+    engine.load("lineitem", data.rows.clone()).unwrap();
+    let sec = engine.create_btree("lineitem", "ship_idx", vec![tpch::COL_SHIPDATE]).unwrap();
+    let cm = engine
+        .create_cm("lineitem", "ship_cm", CmSpec::single_raw(tpch::COL_SHIPDATE))
+        .unwrap();
+    (engine, data, sec, cm)
+}
+
+#[test]
+fn cm_and_btree_routes_match_full_scan_oracle() {
+    let (engine, data, sec, cm) = tpch_engine();
+    let queries = [
+        Query::single(Pred::is_in(tpch::COL_SHIPDATE, data.random_shipdates(5, 3))),
+        Query::single(Pred::eq(
+            tpch::COL_SHIPDATE,
+            data.rows[17][tpch::COL_SHIPDATE].clone(),
+        )),
+        Query::new(vec![
+            Pred::is_in(tpch::COL_SHIPDATE, data.random_shipdates(3, 9)),
+            Pred::between(tpch::COL_QUANTITY, 1i64, 25i64),
+        ]),
+    ];
+    for q in &queries {
+        let oracle = engine
+            .execute_via_collect("lineitem", AccessPath::FullScan, q)
+            .unwrap();
+        for path in [
+            AccessPath::CmScan(cm),
+            AccessPath::SecondarySorted(sec),
+            AccessPath::SecondaryPipelined(sec),
+        ] {
+            let got = engine.execute_via_collect("lineitem", path, q).unwrap();
+            assert_eq!(got.run.matched, oracle.run.matched, "{path:?} {q:?}");
+            let mut a = got.rows.unwrap();
+            let mut b = oracle.rows.clone().unwrap();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{path:?} returns the oracle's rows for {q:?}");
+        }
+    }
+}
+
+#[test]
+fn cost_model_routes_by_selectivity() {
+    // Large enough that a full scan (2000 pages, ~156 ms) clearly exceeds
+    // a few CM bucket visits — at tiny scale every estimate collapses to
+    // the scan ceiling and the planner rightly just scans.
+    let (engine, data, _sec, cm) = tpch_engine_with(120_000);
+
+    // A selective lookup (a handful of shipdates out of ~2500 distinct)
+    // must leave the scan behind and go through the correlated CM.
+    let selective = Query::single(Pred::is_in(tpch::COL_SHIPDATE, data.random_shipdates(1, 4)));
+    let out = engine.execute("lineitem", &selective).unwrap();
+    assert_eq!(
+        out.plan.path,
+        AccessPath::CmScan(cm),
+        "selective predicate routes to the CM; alts {:?}",
+        out.plan.alternatives
+    );
+
+    // A predicate spanning the whole shipdate domain degenerates to a
+    // full scan (the cost model's scan ceiling).
+    let wide = Query::single(Pred::between(
+        tpch::COL_SHIPDATE,
+        Value::Date(0),
+        Value::Date(100_000),
+    ));
+    let out = engine.execute("lineitem", &wide).unwrap();
+    assert_eq!(
+        out.plan.path,
+        AccessPath::FullScan,
+        "wide predicate routes to the scan; alts {:?}",
+        out.plan.alternatives
+    );
+
+    let routes = engine.route_counts();
+    assert_eq!(routes.cm_scan, 1);
+    assert_eq!(routes.full_scan, 1);
+}
+
+#[test]
+fn chosen_path_estimate_is_cheapest_candidate() {
+    let (engine, data, _sec, _cm) = tpch_engine();
+    let q = Query::single(Pred::is_in(tpch::COL_SHIPDATE, data.random_shipdates(8, 1)));
+    let plan = engine.explain("lineitem", &q).unwrap();
+    for (alt, est) in &plan.alternatives {
+        assert!(
+            plan.est_ms <= *est + 1e-9,
+            "chosen {:?} ({} ms) beats {alt:?} ({est} ms)",
+            plan.path,
+            plan.est_ms
+        );
+    }
+}
+
+#[test]
+fn inserts_and_deletes_keep_cm_routed_results_consistent() {
+    let (engine, data, _sec, _cm) = tpch_engine();
+    let q = Query::single(Pred::is_in(tpch::COL_SHIPDATE, data.random_shipdates(5, 5)));
+
+    for batch_no in 0..3u64 {
+        // Insert a batch through the engine (resampled real rows, so some
+        // hit the queried shipdates).
+        for row in data.insert_batch(500, batch_no) {
+            engine.insert("lineitem", row).unwrap();
+        }
+        engine.commit();
+
+        // Delete a stripe of rows by predicate.
+        if batch_no == 1 {
+            let victims = engine
+                .delete_where(
+                    "lineitem",
+                    &Query::single(Pred::eq(
+                        tpch::COL_SUPPKEY,
+                        Value::Int(7 + batch_no as i64),
+                    )),
+                )
+                .unwrap();
+            assert!(!victims.is_empty());
+        }
+
+        // After every batch, the CM-routed result equals the oracle.
+        let oracle = engine
+            .execute_via("lineitem", AccessPath::FullScan, &q)
+            .unwrap();
+        let routed = engine.execute("lineitem", &q).unwrap();
+        assert_eq!(routed.run.matched, oracle.run.matched, "batch {batch_no}");
+    }
+
+    // The maintained CM equals one rebuilt from the surviving rows.
+    engine
+        .with_table("lineitem", |t| {
+            let mut rebuilt = cm_core::CorrelationMap::new(
+                "rebuilt",
+                CmSpec::single_raw(tpch::COL_SHIPDATE),
+            );
+            for (rid, row) in t.heap().iter() {
+                if !row[tpch::COL_SHIPDATE].is_null() {
+                    rebuilt.insert(row, rid, t.dir());
+                }
+            }
+            let maintained = t.cm(0);
+            assert_eq!(maintained.num_keys(), rebuilt.num_keys());
+            assert_eq!(maintained.num_pairs(), rebuilt.num_pairs());
+        })
+        .unwrap();
+}
+
+#[test]
+fn concurrent_mixed_workload_stays_consistent() {
+    let (engine, data, _sec, _cm) = tpch_engine();
+    let reads: Vec<Query> = (0..10)
+        .map(|i| Query::single(Pred::is_in(tpch::COL_SHIPDATE, data.random_shipdates(2, i))))
+        .collect();
+    let fresh = data.clone();
+    let report = run_mixed(
+        &engine,
+        &MixedWorkloadConfig {
+            table: "lineitem".into(),
+            reads,
+            insert_rows: fresh.insert_batch(2_000, 99),
+            read_fraction: 0.9,
+            ops: 600,
+            threads: 4,
+            commit_every: 20,
+            seed: 0xBEEF,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.ops, 600);
+    assert!(report.reads > 0 && report.writes > 0);
+    assert_eq!(report.routes.total(), report.reads);
+
+    // Every inserted row is visible and every path still agrees.
+    let q = Query::single(Pred::is_in(tpch::COL_SHIPDATE, data.random_shipdates(4, 2)));
+    let oracle = engine.execute_via("lineitem", AccessPath::FullScan, &q).unwrap();
+    let routed = engine.execute("lineitem", &q).unwrap();
+    assert_eq!(routed.run.matched, oracle.run.matched);
+    assert_eq!(engine.stats().inserts, report.writes);
+}
+
+#[test]
+fn multi_table_catalog_is_independent() {
+    let (engine, _data, _sec, _cm) = tpch_engine();
+    let ebay = cm_datagen::ebay::ebay(cm_datagen::ebay::EbayConfig {
+        categories: 100,
+        min_items: 5,
+        max_items: 10,
+        seed: 5,
+    });
+    engine
+        .create_table("items", ebay.schema.clone(), cm_datagen::ebay::COL_CATID, 90, 450)
+        .unwrap();
+    engine.load("items", ebay.rows.clone()).unwrap();
+    engine
+        .create_cm("items", "price_cm", CmSpec::single_pow2(cm_datagen::ebay::COL_PRICE, 12))
+        .unwrap();
+    assert_eq!(engine.tables(), vec!["items".to_string(), "lineitem".to_string()]);
+    let items = engine.table_info("items").unwrap();
+    let lineitem = engine.table_info("lineitem").unwrap();
+    assert_eq!(items.cms, 1);
+    assert_eq!(lineitem.secondaries, 1);
+    let out = engine
+        .execute(
+            "items",
+            &Query::single(Pred::between(cm_datagen::ebay::COL_PRICE, 0i64, 1_000_000i64)),
+        )
+        .unwrap();
+    assert_eq!(out.run.matched, items.rows);
+}

@@ -110,3 +110,17 @@ fn ablation_equidepth_smoke() {
     assert_eq!(r.rows.len(), 3, "three query regions");
     check(r, true);
 }
+
+#[test]
+fn engine_mixed_smoke() {
+    let r = experiments::engine_mixed::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 4, "B+Tree and CM configurations at two mixes");
+    // Reads were cost-routed: the routing cell accounts for every read.
+    for row in &r.rows {
+        assert!(row.cells[5].starts_with("cm:"), "routing cell: {}", row.cells[5]);
+    }
+    // JSON emission is well-formed enough to embed.
+    let json = r.to_json();
+    assert!(json.contains("\"id\":\"engine_mixed\""));
+    check(r, true);
+}
