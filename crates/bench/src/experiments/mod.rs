@@ -5,6 +5,7 @@
 
 pub mod ablation_equidepth;
 pub mod engine_mixed;
+pub mod engine_sharded;
 pub mod fig1_access_patterns;
 pub mod fig2_sdss_clusterings;
 pub mod fig3_shipdate_lookups;
@@ -38,5 +39,6 @@ pub fn run_all(scale: BenchScale) -> Vec<Report> {
         tab6_composite::run(scale),
         ablation_equidepth::run(scale),
         engine_mixed::run(scale),
+        engine_sharded::run(scale),
     ]
 }

@@ -1,15 +1,30 @@
-//! The engine facade: catalog, shared I/O substrate, and cost-based
+//! The engine facade: catalog, sharded I/O substrate, and cost-based
 //! access-path routing.
+//!
+//! Storage is split across N [`StorageShard`]s (each its own simulated
+//! disk + buffer pool). Every table is partitioned by clustered-key
+//! range, one partition per shard, with a [`RangeRouter`] derived from
+//! the clustered attribute at load time: point predicates on the
+//! clustered column route to exactly one shard, ranges fan out only to
+//! the shards they overlap, and each shard executes the query
+//! intersected with its ownership range. Log records go to one engine
+//! WAL on a dedicated log disk, flushed through leader-elected group
+//! commit ([`GroupCommitWal`]).
 
 use crate::error::EngineError;
 use crate::session::Session;
+use crate::shard::{partition_rows, RangeRouter};
 use crate::Result;
 use cm_core::CmSpec;
-use cm_query::{AccessPath, ExecContext, PlanChoice, Planner, Query, RunResult, Table};
-use cm_storage::{
-    BufferPool, DiskConfig, DiskSim, IoStats, PoolStats, Rid, Row, Schema, Wal,
+use cm_query::{
+    restrict_to_shard, AccessPath, ExecContext, PlanChoice, Planner, Query, RunResult, Table,
 };
-use parking_lot::{Mutex, RwLock};
+use cm_storage::{
+    aggregate_io, aggregate_pool, makespan_ms, BufferPool, DiskConfig, DiskSim,
+    GroupCommitConfig, GroupCommitStats, GroupCommitWal, IoStats, PoolStats, Rid, Row, Schema,
+    StorageShard, Wal, WalBatch,
+};
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -17,39 +32,48 @@ use std::sync::Arc;
 /// Engine construction parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
-    /// Simulated-disk hardware parameters (paper, Table 1 by default).
+    /// Simulated-disk hardware parameters (paper, Table 1 by default) —
+    /// every shard disk and the log disk use the same constants.
     pub disk: DiskConfig,
-    /// Shared buffer-pool capacity in pages.
+    /// Total buffer-pool capacity in pages, divided evenly across the
+    /// shards (so sweeping the shard count compares equal RAM).
     pub pool_pages: usize,
+    /// Number of storage shards tables are range-partitioned across.
+    pub shards: usize,
+    /// WAL group-commit batching knobs.
+    pub group_commit: GroupCommitConfig,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { disk: DiskConfig::default(), pool_pages: 1024 }
+        EngineConfig {
+            disk: DiskConfig::default(),
+            pool_pages: 1024,
+            shards: 1,
+            group_commit: GroupCommitConfig::default(),
+        }
     }
 }
 
-/// A table definition plus (once loaded) the table itself.
-struct TableSlot {
+/// A table definition plus (once loaded) its per-shard partitions.
+struct TableEntry {
     name: String,
     schema: Arc<Schema>,
     clustered_col: usize,
     tups_per_page: usize,
     bucket_target: u64,
-    table: Option<Table>,
+    /// `None` until [`Engine::load`] runs. Queries take this read lock
+    /// plus per-partition locks, so readers on different shards (and
+    /// writers on different shards) proceed in parallel.
+    loaded: RwLock<Option<LoadedTable>>,
 }
 
-impl TableSlot {
-    fn table(&self) -> Result<&Table> {
-        self.table.as_ref().ok_or_else(|| EngineError::NotLoaded(self.name.clone()))
-    }
-
-    fn table_mut(&mut self) -> Result<&mut Table> {
-        match self.table.as_mut() {
-            Some(t) => Ok(t),
-            None => Err(EngineError::NotLoaded(self.name.clone())),
-        }
-    }
+/// The loaded state: contiguous clustered-key partitions, one per
+/// storage shard, plus the routing table over their boundaries.
+struct LoadedTable {
+    router: RangeRouter,
+    /// `parts[i]` lives on the engine's shard backend `i`.
+    parts: Vec<RwLock<Table>>,
 }
 
 /// Per-access-path routing counters (cumulative since engine start).
@@ -70,6 +94,16 @@ impl RouteCounts {
     pub fn total(&self) -> u64 {
         self.full_scan + self.secondary_sorted + self.secondary_pipelined + self.cm_scan
     }
+
+    /// `self - earlier`, for snapshot-delta reporting.
+    pub fn since(&self, earlier: &RouteCounts) -> RouteCounts {
+        RouteCounts {
+            full_scan: self.full_scan - earlier.full_scan,
+            secondary_sorted: self.secondary_sorted - earlier.secondary_sorted,
+            secondary_pipelined: self.secondary_pipelined - earlier.secondary_pipelined,
+            cm_scan: self.cm_scan - earlier.cm_scan,
+        }
+    }
 }
 
 /// Cumulative engine statistics.
@@ -83,24 +117,36 @@ pub struct EngineStats {
     pub deletes: u64,
     /// Routing decisions by chosen path.
     pub routes: RouteCounts,
-    /// Simulated disk counters since engine start.
+    /// Simulated disk counters summed over every shard disk and the log
+    /// disk since engine start.
     pub io: IoStats,
-    /// Buffer-pool behaviour since engine start.
+    /// Buffer-pool behaviour summed over every shard pool.
     pub pool: PoolStats,
     /// WAL records appended since engine start.
     pub wal_records: u64,
     /// WAL bytes made durable since engine start.
     pub wal_durable_bytes: u64,
+    /// WAL group-commit behaviour (requests, absorbed commits, flushes,
+    /// pages flushed).
+    pub wal: GroupCommitStats,
+    /// Tables in the catalog.
+    pub tables: usize,
+    /// Rows across every loaded table (live + tombstoned slots).
+    pub total_rows: u64,
 }
 
 /// Outcome of one query execution through the engine.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
-    /// The planner's decision (estimates for every candidate path). For
-    /// forced-path runs the chosen path is the forced one.
+    /// The planner's decision on the first shard the query executed on
+    /// (estimates for every candidate path there). For forced-path runs
+    /// the chosen path is the forced one.
     pub plan: PlanChoice,
-    /// Measured (simulated) execution of the chosen path.
+    /// Measured (simulated) execution, summed across the shards the
+    /// query fanned out to.
     pub run: RunResult,
+    /// The shard ids the query executed on, ascending.
+    pub shards: Vec<usize>,
     /// Matching rows, if collection was requested.
     pub rows: Option<Vec<Row>>,
 }
@@ -112,24 +158,27 @@ pub struct TableInfo {
     pub name: String,
     /// Whether `load` has run.
     pub loaded: bool,
-    /// Row count (0 until loaded).
+    /// Row count across all shards (0 until loaded).
     pub rows: u64,
-    /// Heap pages (0 until loaded).
+    /// Heap pages across all shards (0 until loaded).
     pub pages: u64,
-    /// Number of secondary B+Trees.
+    /// Number of shards the table is partitioned across (0 until loaded).
+    pub shards: usize,
+    /// Number of secondary B+Trees (per shard; every shard has the same
+    /// set).
     pub secondaries: usize,
-    /// Number of CMs.
+    /// Number of CMs (per shard).
     pub cms: usize,
 }
 
 /// The concurrent engine facade. Construct with [`Engine::new`], share as
 /// `Arc<Engine>`, open per-connection handles with [`Engine::session`].
 pub struct Engine {
-    disk: Arc<DiskSim>,
-    pool: BufferPool,
-    wal: Mutex<Wal>,
+    backends: Vec<StorageShard>,
+    log_disk: Arc<DiskSim>,
+    wal: GroupCommitWal,
     planner: Planner,
-    catalog: RwLock<HashMap<String, Arc<RwLock<TableSlot>>>>,
+    catalog: RwLock<HashMap<String, Arc<TableEntry>>>,
     queries: AtomicU64,
     inserts: AtomicU64,
     deletes: AtomicU64,
@@ -140,15 +189,23 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Build an engine with its own simulated disk, buffer pool, and WAL.
+    /// Build an engine with `config.shards` storage shards (each its own
+    /// simulated disk + buffer pool), a dedicated log disk, and a
+    /// group-commit WAL.
     pub fn new(config: EngineConfig) -> Arc<Self> {
-        let disk = DiskSim::new(config.disk);
-        let pool = BufferPool::new(disk.clone(), config.pool_pages);
-        let wal = Mutex::new(Wal::new(disk.clone()));
+        let shards = config.shards.clamp(1, Rid::MAX_SHARDS);
+        let per_shard_pages = (config.pool_pages / shards).max(1);
+        let backends: Vec<StorageShard> = (0..shards)
+            .map(|_| StorageShard::new(config.disk, per_shard_pages))
+            .collect();
+        // The log gets its own spindle (as a real deployment would), so
+        // commits do not drag every shard head to the log tail.
+        let log_disk = DiskSim::new(config.disk);
+        let wal = GroupCommitWal::new(Wal::new(log_disk.clone()), config.group_commit);
         let planner = Planner::new(config.disk);
         Arc::new(Engine {
-            disk,
-            pool,
+            backends,
+            log_disk,
             wal,
             planner,
             catalog: RwLock::new(HashMap::new()),
@@ -162,14 +219,66 @@ impl Engine {
         })
     }
 
-    /// The shared simulated disk.
-    pub fn disk(&self) -> &Arc<DiskSim> {
-        &self.disk
+    /// Number of storage shards.
+    pub fn num_shards(&self) -> usize {
+        self.backends.len()
     }
 
-    /// The shared buffer pool.
+    /// The shard storage backends (disk + pool pairs).
+    pub fn shard_backends(&self) -> &[StorageShard] {
+        &self.backends
+    }
+
+    /// The first shard's simulated disk. For single-shard engines this
+    /// is *the* data disk (the pre-sharding behaviour); sharded engines
+    /// should aggregate via [`Engine::io_totals`].
+    pub fn disk(&self) -> &Arc<DiskSim> {
+        self.backends[0].disk()
+    }
+
+    /// The first shard's buffer pool (see [`Engine::disk`]).
     pub fn pool(&self) -> &BufferPool {
-        &self.pool
+        self.backends[0].pool()
+    }
+
+    /// The dedicated log disk the WAL flushes to.
+    pub fn log_disk(&self) -> &Arc<DiskSim> {
+        &self.log_disk
+    }
+
+    /// I/O counters summed over every shard disk and the log disk.
+    pub fn io_totals(&self) -> IoStats {
+        let mut per: Vec<IoStats> = self.backends.iter().map(|b| b.io_stats()).collect();
+        per.push(self.log_disk.stats());
+        aggregate_io(per.iter())
+    }
+
+    /// Per-shard I/O counters (shard disks only, in shard order).
+    pub fn shard_io(&self) -> Vec<IoStats> {
+        self.backends.iter().map(|b| b.io_stats()).collect()
+    }
+
+    /// The busiest disk's simulated elapsed time — the makespan of the
+    /// engine's history with all spindles working in parallel.
+    pub fn sim_makespan_ms(&self) -> f64 {
+        let mut per: Vec<IoStats> = self.backends.iter().map(|b| b.io_stats()).collect();
+        per.push(self.log_disk.stats());
+        makespan_ms(per.iter())
+    }
+
+    /// Pool counters summed over every shard pool.
+    pub fn pool_totals(&self) -> PoolStats {
+        let per: Vec<PoolStats> = self.backends.iter().map(|b| b.pool_stats()).collect();
+        aggregate_pool(per.iter())
+    }
+
+    /// Reset every disk's counters and head position (between-trial
+    /// measurement hygiene).
+    pub fn reset_io(&self) {
+        for b in &self.backends {
+            b.reset_io();
+        }
+        self.log_disk.reset();
     }
 
     /// Open a session handle (cheap; one per connection/thread).
@@ -200,91 +309,120 @@ impl Engine {
         }
         cat.insert(
             name.clone(),
-            Arc::new(RwLock::new(TableSlot {
+            Arc::new(TableEntry {
                 name,
                 schema,
                 clustered_col,
                 tups_per_page,
                 bucket_target,
-                table: None,
-            })),
+                loaded: RwLock::new(None),
+            }),
         );
         Ok(())
     }
 
-    /// Bulk-load rows, building the clustered heap, clustered index, and
-    /// bucket directory (rows are sorted on the clustered column by the
-    /// loader). One-shot: subsequent writes go through [`Engine::insert`].
+    /// Bulk-load rows: sort on the clustered column, partition into
+    /// contiguous clustered-key ranges (one per shard, never splitting a
+    /// key), and build each partition's heap, clustered index, and
+    /// bucket directory on its own shard backend. One-shot: subsequent
+    /// writes go through [`Engine::insert`].
     pub fn load(&self, table: &str, rows: Vec<Row>) -> Result<u64> {
-        let slot = self.slot(table)?;
-        let mut slot = slot.write();
-        if slot.table.is_some() {
-            return Err(EngineError::AlreadyLoaded(slot.name.clone()));
+        let entry = self.entry(table)?;
+        let mut loaded = entry.loaded.write();
+        if loaded.is_some() {
+            return Err(EngineError::AlreadyLoaded(entry.name.clone()));
         }
-        let built = Table::build(
-            &self.disk,
-            slot.schema.clone(),
-            rows,
-            slot.tups_per_page,
-            slot.clustered_col,
-            slot.bucket_target,
-        )?;
-        let n = built.heap().len();
-        slot.table = Some(built);
-        Ok(n)
+        let (chunks, splits) = partition_rows(rows, entry.clustered_col, self.backends.len());
+        let router = RangeRouter::new(entry.clustered_col, splits);
+        let mut parts = Vec::with_capacity(chunks.len());
+        let mut total = 0u64;
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let t = Table::build(
+                self.backends[i].disk(),
+                entry.schema.clone(),
+                chunk,
+                entry.tups_per_page,
+                entry.clustered_col,
+                entry.bucket_target,
+            )?;
+            total += t.heap().len();
+            parts.push(RwLock::new(t));
+        }
+        *loaded = Some(LoadedTable { router, parts });
+        Ok(total)
     }
 
-    /// Create (and bulk-build) a secondary B+Tree on `cols`; returns its
-    /// id. Statistics for the leading column are refreshed so the planner
-    /// can cost the new index immediately.
+    /// Create (and bulk-build) a secondary B+Tree on `cols` — one tree
+    /// per shard, covering that shard's rows; returns its id (the same
+    /// on every shard). Statistics for the leading column are refreshed
+    /// so the planner can cost the new index immediately.
     pub fn create_btree(
         &self,
         table: &str,
         index_name: impl Into<String>,
         cols: Vec<usize>,
     ) -> Result<usize> {
-        let slot = self.slot(table)?;
-        let mut slot = slot.write();
-        let arity = slot.schema.arity();
+        let entry = self.entry(table)?;
+        let arity = entry.schema.arity();
         if let Some(&bad) = cols.iter().find(|&&c| c >= arity) {
-            return Err(EngineError::BadColumn { table: slot.name.clone(), col: bad });
+            return Err(EngineError::BadColumn { table: entry.name.clone(), col: bad });
         }
-        let disk = self.disk.clone();
-        let analyze: Vec<usize> = cols.clone();
-        let t = slot.table_mut()?;
-        let id = t.add_secondary(&disk, index_name, cols);
-        t.analyze_cols(&analyze);
-        Ok(id)
+        let index_name = index_name.into();
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        let mut id = None;
+        for (i, part) in lt.parts.iter().enumerate() {
+            let mut t = part.write();
+            let part_id =
+                t.add_secondary(self.backends[i].disk(), index_name.clone(), cols.clone());
+            t.analyze_cols(&cols);
+            debug_assert!(id.is_none_or(|prev| prev == part_id), "uniform ids across shards");
+            id = Some(part_id);
+        }
+        Ok(id.expect("loaded tables have at least one partition"))
     }
 
-    /// Create (and build via the paper's Algorithm 1) a Correlation Map;
-    /// returns its id. Statistics for the CM's key columns are refreshed
-    /// so the planner can compare the CM against index paths.
+    /// Create (and build via the paper's Algorithm 1) a Correlation Map —
+    /// one per shard, over that shard's bucket directory; returns its id
+    /// (the same on every shard). Statistics for the CM's key columns
+    /// are refreshed so the planner can compare the CM against index
+    /// paths.
     pub fn create_cm(
         &self,
         table: &str,
         cm_name: impl Into<String>,
         spec: CmSpec,
     ) -> Result<usize> {
-        let slot = self.slot(table)?;
-        let mut slot = slot.write();
-        let arity = slot.schema.arity();
+        let entry = self.entry(table)?;
+        let arity = entry.schema.arity();
         if let Some(&bad) = spec.cols().iter().find(|&&c| c >= arity) {
-            return Err(EngineError::BadColumn { table: slot.name.clone(), col: bad });
+            return Err(EngineError::BadColumn { table: entry.name.clone(), col: bad });
         }
+        let cm_name = cm_name.into();
         let analyze = spec.cols();
-        let t = slot.table_mut()?;
-        let id = t.add_cm(cm_name, spec);
-        t.analyze_cols(&analyze);
-        Ok(id)
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        let mut id = None;
+        for part in lt.parts.iter() {
+            let mut t = part.write();
+            let part_id = t.add_cm(cm_name.clone(), spec.clone());
+            t.analyze_cols(&analyze);
+            debug_assert!(id.is_none_or(|prev| prev == part_id), "uniform ids across shards");
+            id = Some(part_id);
+        }
+        Ok(id.expect("loaded tables have at least one partition"))
     }
 
-    /// Refresh planner statistics for the given columns (the paper's
-    /// statistics scan; uncharged, as in the seed's `Table`).
+    /// Refresh planner statistics for the given columns on every shard
+    /// (the paper's statistics scan; uncharged, as in the seed's
+    /// `Table`).
     pub fn analyze(&self, table: &str, cols: &[usize]) -> Result<()> {
-        let slot = self.slot(table)?;
-        let mut slot = slot.write();
-        slot.table_mut()?.analyze_cols(cols);
+        let entry = self.entry(table)?;
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        for part in lt.parts.iter() {
+            part.write().analyze_cols(cols);
+        }
         Ok(())
     }
 
@@ -297,40 +435,118 @@ impl Engine {
 
     /// Catalog summary for one table.
     pub fn table_info(&self, table: &str) -> Result<TableInfo> {
-        let slot = self.slot(table)?;
-        let slot = slot.read();
-        Ok(match &slot.table {
-            Some(t) => TableInfo {
-                name: slot.name.clone(),
-                loaded: true,
-                rows: t.heap().len(),
-                pages: t.heap().num_pages(),
-                secondaries: t.secondaries().len(),
-                cms: t.cms().len(),
-            },
+        let entry = self.entry(table)?;
+        Ok(Self::entry_info(&entry))
+    }
+
+    /// Catalog summaries for every table, sorted by name. The catalog
+    /// lock is held only to snapshot the entry `Arc`s; per-table state
+    /// is read outside it, so a long-running DDL on one table cannot
+    /// stall the listing of the others.
+    pub fn table_infos(&self) -> Vec<TableInfo> {
+        let entries: Vec<Arc<TableEntry>> =
+            self.catalog.read().values().cloned().collect();
+        let mut infos: Vec<TableInfo> =
+            entries.iter().map(|e| Self::entry_info(e)).collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    fn entry_info(entry: &TableEntry) -> TableInfo {
+        let loaded = entry.loaded.read();
+        match loaded.as_ref() {
+            Some(lt) => {
+                let (mut rows, mut pages) = (0u64, 0u64);
+                let (mut secondaries, mut cms) = (0usize, 0usize);
+                for (i, part) in lt.parts.iter().enumerate() {
+                    let t = part.read();
+                    rows += t.heap().len();
+                    pages += t.heap().num_pages();
+                    if i == 0 {
+                        secondaries = t.secondaries().len();
+                        cms = t.cms().len();
+                    }
+                }
+                TableInfo {
+                    name: entry.name.clone(),
+                    loaded: true,
+                    rows,
+                    pages,
+                    shards: lt.parts.len(),
+                    secondaries,
+                    cms,
+                }
+            }
             None => TableInfo {
-                name: slot.name.clone(),
+                name: entry.name.clone(),
                 loaded: false,
                 rows: 0,
                 pages: 0,
+                shards: 0,
                 secondaries: 0,
                 cms: 0,
             },
-        })
+        }
     }
 
-    /// Run `f` with shared (read-locked) access to a table — the escape
-    /// hatch for tooling layered on the engine, e.g. the CM Advisor.
+    /// Run `f` with shared (read-locked) access to a single-shard
+    /// table's partition — the escape hatch for tooling layered on the
+    /// engine, e.g. the CM Advisor. Errors on multi-shard tables; use
+    /// [`Engine::with_shard`] there.
     pub fn with_table<R>(&self, table: &str, f: impl FnOnce(&Table) -> R) -> Result<R> {
-        let slot = self.slot(table)?;
-        let slot = slot.read();
-        Ok(f(slot.table()?))
+        let entry = self.entry(table)?;
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        if lt.parts.len() != 1 {
+            return Err(EngineError::ShardedTable(entry.name.clone()));
+        }
+        let part = lt.parts[0].read();
+        let out = f(&part);
+        drop(part);
+        Ok(out)
+    }
+
+    /// Run `f` with shared access to one shard's partition of a table.
+    pub fn with_shard<R>(
+        &self,
+        table: &str,
+        shard: usize,
+        f: impl FnOnce(&Table) -> R,
+    ) -> Result<R> {
+        let entry = self.entry(table)?;
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        let part = lt
+            .parts
+            .get(shard)
+            .ok_or_else(|| EngineError::BadRid { table: entry.name.clone(), rid: shard as u64 })?;
+        let part = part.read();
+        let out = f(&part);
+        drop(part);
+        Ok(out)
+    }
+
+    /// Run `f` over every shard's partition of a table, in shard order.
+    pub fn with_each_shard(
+        &self,
+        table: &str,
+        mut f: impl FnMut(usize, &Table),
+    ) -> Result<()> {
+        let entry = self.entry(table)?;
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        for (i, part) in lt.parts.iter().enumerate() {
+            f(i, &part.read());
+        }
+        Ok(())
     }
 
     // ---- queries ------------------------------------------------------
 
-    /// Execute a query, routing it to the access path the cost model
-    /// estimates cheapest. Reads go through the shared buffer pool.
+    /// Execute a query, routing it to the shards it overlaps and, on
+    /// each shard, to the access path the cost model estimates cheapest
+    /// for the shard-restricted predicate. Reads go through the shards'
+    /// buffer pools.
     pub fn execute(&self, table: &str, q: &Query) -> Result<QueryOutcome> {
         self.execute_inner(table, q, None, false, false)
     }
@@ -360,11 +576,28 @@ impl Engine {
         self.execute_inner(table, q, Some(path), true, false)
     }
 
-    /// The planner's decision for a query, without executing it.
+    /// The planner's decision for a query, without executing it (the
+    /// choice on the first shard the query would touch).
     pub fn explain(&self, table: &str, q: &Query) -> Result<PlanChoice> {
-        let slot = self.slot(table)?;
-        let slot = slot.read();
-        Ok(self.planner.choose(slot.table()?, q))
+        let entry = self.entry(table)?;
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        for i in lt.router.shards_for(q) {
+            let Some(sub) = restrict_to_shard(q, lt.router.col(), &lt.router.range_of(i))
+            else {
+                continue;
+            };
+            return Ok(self.planner.choose(&lt.parts[i].read(), &sub));
+        }
+        Ok(empty_plan())
+    }
+
+    /// The shard ids a query fans out to (routing diagnostics).
+    pub fn route_shards(&self, table: &str, q: &Query) -> Result<Vec<usize>> {
+        let entry = self.entry(table)?;
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        Ok(lt.router.shards_for(q))
     }
 
     pub(crate) fn execute_inner(
@@ -375,135 +608,219 @@ impl Engine {
         collect: bool,
         cold: bool,
     ) -> Result<QueryOutcome> {
-        let slot = self.slot(table)?;
-        let slot = slot.read();
-        let t = slot.table()?;
-        let mut plan = self.planner.choose(t, q);
-        let path = match forced {
-            Some(p) => {
-                plan.path = p;
-                // A forced path the planner didn't cost (no statistics, or
-                // no predicate on the index's leading column) has no
-                // estimate; NaN keeps that visible instead of borrowing
-                // the cheapest path's number.
-                plan.est_ms = plan
-                    .alternatives
-                    .iter()
-                    .find(|(alt, _)| *alt == p)
-                    .map(|(_, est)| *est)
-                    .unwrap_or(f64::NAN);
-                p
-            }
-            None => {
-                self.note_route(plan.path);
-                plan.path
-            }
-        };
-        let ctx = if cold {
-            ExecContext::cold(&self.disk)
-        } else {
-            ExecContext::through(&self.disk, &self.pool)
-        };
+        let entry = self.entry(table)?;
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+
+        let mut plan: Option<PlanChoice> = None;
+        let mut run = RunResult { matched: 0, examined: 0, io: IoStats::default() };
         let mut rows: Vec<Row> = Vec::new();
-        let run = {
-            let mut visit = |row: &[cm_storage::Value]| {
-                if collect {
-                    rows.push(row.to_vec());
+        let mut visited: Vec<usize> = Vec::new();
+
+        for i in lt.router.shards_for(q) {
+            // Intersect the clustered-column predicate with the shard's
+            // ownership range: CM lookups, planner estimates, and index
+            // probes on this shard see only the in-range slice.
+            let Some(sub) = restrict_to_shard(q, lt.router.col(), &lt.router.range_of(i))
+            else {
+                continue;
+            };
+            let part = lt.parts[i].read();
+            let t = &*part;
+            let mut choice = self.planner.choose(t, &sub);
+            let path = match forced {
+                Some(p) => {
+                    choice.path = p;
+                    // A forced path the planner didn't cost (no
+                    // statistics, or no predicate on the index's leading
+                    // column) has no estimate; NaN keeps that visible
+                    // instead of borrowing the cheapest path's number.
+                    choice.est_ms = choice
+                        .alternatives
+                        .iter()
+                        .find(|(alt, _)| *alt == p)
+                        .map(|(_, est)| *est)
+                        .unwrap_or(f64::NAN);
+                    p
+                }
+                None => choice.path,
+            };
+            let backend = &self.backends[i];
+            let ctx = if cold {
+                ExecContext::cold(backend.disk())
+            } else {
+                ExecContext::through(backend.disk(), backend.pool())
+            };
+            let r = {
+                let mut visit = |row: &[cm_storage::Value]| {
+                    if collect {
+                        rows.push(row.to_vec());
+                    }
+                };
+                match path {
+                    AccessPath::FullScan => t.exec_full_scan_visit(&ctx, &sub, &mut visit),
+                    AccessPath::SecondarySorted(id) => {
+                        t.exec_secondary_sorted_visit(&ctx, id, &sub, &mut visit)
+                    }
+                    AccessPath::SecondaryPipelined(id) => {
+                        t.exec_secondary_pipelined_visit(&ctx, id, &sub, &mut visit)
+                    }
+                    AccessPath::CmScan(id) => t.exec_cm_scan_visit(&ctx, id, &sub, &mut visit),
                 }
             };
-            match path {
-                AccessPath::FullScan => t.exec_full_scan_visit(&ctx, q, &mut visit),
-                AccessPath::SecondarySorted(id) => {
-                    t.exec_secondary_sorted_visit(&ctx, id, q, &mut visit)
-                }
-                AccessPath::SecondaryPipelined(id) => {
-                    t.exec_secondary_pipelined_visit(&ctx, id, q, &mut visit)
-                }
-                AccessPath::CmScan(id) => t.exec_cm_scan_visit(&ctx, id, q, &mut visit),
+            run.matched += r.matched;
+            run.examined += r.examined;
+            run.io.add(&r.io);
+            visited.push(i);
+            if plan.is_none() {
+                plan = Some(choice);
             }
-        };
+        }
+
+        let plan = plan.unwrap_or_else(|| {
+            // Every shard was pruned (e.g. an inverted range): report the
+            // forced path or a zero-cost scan, with no alternatives.
+            let mut p = empty_plan();
+            if let Some(f) = forced {
+                p.path = f;
+                p.est_ms = f64::NAN;
+            }
+            p
+        });
+        if forced.is_none() {
+            self.note_route(plan.path);
+        }
         self.queries.fetch_add(1, Ordering::Relaxed);
-        Ok(QueryOutcome { plan, run, rows: collect.then_some(rows) })
+        Ok(QueryOutcome { plan, run, shards: visited, rows: collect.then_some(rows) })
     }
 
     // ---- writes -------------------------------------------------------
 
-    /// INSERT one row, maintaining every access structure (heap write
-    /// through the shared pool, B+Tree postings charged, CM updates
-    /// memory-only) and logging to the engine WAL. Call
-    /// [`Engine::commit`] to force the log.
+    /// INSERT one row, routed to the shard owning its clustered key and
+    /// maintaining every access structure there (heap write through the
+    /// shard's pool, B+Tree postings charged, CM updates memory-only),
+    /// with WAL records appended to the engine log. Call
+    /// [`Engine::commit`] to force the log. The returned RID carries the
+    /// shard tag.
     pub fn insert(&self, table: &str, row: Row) -> Result<Rid> {
-        let slot = self.slot(table)?;
-        let mut slot = slot.write();
-        let t = slot.table_mut()?;
-        let mut wal = self.wal.lock();
-        let rid = t.insert_row(&self.pool, Some(&mut wal), row)?;
+        let entry = self.entry(table)?;
+        entry.schema.validate(&row).map_err(EngineError::Storage)?;
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        let shard = lt.router.shard_of_row(&row).min(lt.parts.len() - 1);
+        // Gather the WAL records into a detached batch while holding
+        // only the shard lock, then replay them onto the shared log in
+        // one short critical section — writers on different shards do
+        // not serialize on the log mutex.
+        let mut batch = WalBatch::new();
+        let rid = {
+            let mut t = lt.parts[shard].write();
+            t.insert_row(self.backends[shard].pool(), Some(&mut batch), row)?
+        };
+        self.wal.append_batch(&batch);
         self.inserts.fetch_add(1, Ordering::Relaxed);
-        Ok(rid)
+        Ok(Rid::sharded(shard, rid))
     }
 
-    /// DELETE one row by RID, retracting it from every access structure.
+    /// DELETE one row by (shard-tagged) RID, retracting it from every
+    /// access structure on its shard.
     pub fn delete(&self, table: &str, rid: Rid) -> Result<Row> {
-        let slot = self.slot(table)?;
-        let mut slot = slot.write();
-        let t = slot.table_mut()?;
-        let mut wal = self.wal.lock();
-        let row = t.delete_row(&self.pool, Some(&mut wal), rid)?;
+        let entry = self.entry(table)?;
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        let shard = rid.shard_index();
+        if shard >= lt.parts.len() {
+            return Err(EngineError::BadRid { table: entry.name.clone(), rid: rid.0 });
+        }
+        let mut batch = WalBatch::new();
+        let row = {
+            let mut t = lt.parts[shard].write();
+            t.delete_row(self.backends[shard].pool(), Some(&mut batch), rid.local())?
+        };
+        self.wal.append_batch(&batch);
         self.deletes.fetch_add(1, Ordering::Relaxed);
         Ok(row)
     }
 
-    /// DELETE every row matching `q` (found by a charged full scan);
-    /// returns the victims' RIDs.
+    /// DELETE every row matching `q` (found by a charged scan of the
+    /// overlapping shards); returns the victims' shard-tagged RIDs.
     pub fn delete_where(&self, table: &str, q: &Query) -> Result<Vec<Rid>> {
-        let slot = self.slot(table)?;
-        let mut slot = slot.write();
-        let t = slot.table_mut()?;
+        let entry = self.entry(table)?;
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
         let mut victims: Vec<Rid> = Vec::new();
-        for page in 0..t.heap().num_pages() {
-            let (start, _) = t.heap().page_rid_range(page);
-            let rows = t.heap().read_page(&self.pool, page)?;
-            for (i, row) in rows.iter().enumerate() {
-                if q.matches(row) {
-                    victims.push(Rid(start.0 + i as u64));
+        for i in lt.router.shards_for(q) {
+            let Some(sub) = restrict_to_shard(q, lt.router.col(), &lt.router.range_of(i))
+            else {
+                continue;
+            };
+            let mut batch = WalBatch::new();
+            {
+                let mut t = lt.parts[i].write();
+                let pool = self.backends[i].pool();
+                let mut local: Vec<Rid> = Vec::new();
+                for page in 0..t.heap().num_pages() {
+                    let (start, _) = t.heap().page_rid_range(page);
+                    let page_rows = t.heap().read_page(pool, page)?;
+                    for (j, row) in page_rows.iter().enumerate() {
+                        if sub.matches(row) {
+                            local.push(Rid(start.0 + j as u64));
+                        }
+                    }
+                }
+                for &rid in &local {
+                    t.delete_row(pool, Some(&mut batch), rid)?;
+                    self.deletes.fetch_add(1, Ordering::Relaxed);
+                    victims.push(Rid::sharded(i, rid));
                 }
             }
-        }
-        let mut wal = self.wal.lock();
-        for &rid in &victims {
-            t.delete_row(&self.pool, Some(&mut wal), rid)?;
-            self.deletes.fetch_add(1, Ordering::Relaxed);
+            self.wal.append_batch(&batch);
         }
         Ok(victims)
     }
 
-    /// Force the WAL to disk (group commit point); returns the I/O
-    /// charged for the flush.
+    /// Make every appended WAL record durable (group commit point);
+    /// returns the I/O this call charged — zero when a concurrent
+    /// leader's flush covered it.
     pub fn commit(&self) -> IoStats {
-        self.wal.lock().commit()
+        self.wal.commit()
     }
 
-    /// Flush the buffer pool (between-trial cache flushing, as in the
-    /// paper's methodology); returns the I/O charged.
+    /// Flush every shard's buffer pool (between-trial cache flushing, as
+    /// in the paper's methodology); returns the I/O charged.
     pub fn flush_pool(&self) -> IoStats {
-        self.pool.flush_all()
+        let mut io = IoStats::default();
+        for b in &self.backends {
+            io.add(&b.flush());
+        }
+        io
     }
 
     // ---- statistics ---------------------------------------------------
 
-    /// Cumulative engine statistics.
+    /// Cumulative engine statistics. Catalog-derived aggregates snapshot
+    /// the entry `Arc`s under one brief catalog read lock, then read
+    /// per-table state outside it.
     pub fn stats(&self) -> EngineStats {
-        let wal = self.wal.lock();
+        let infos = self.table_infos();
         EngineStats {
             queries: self.queries.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
             routes: self.route_counts(),
-            io: self.disk.stats(),
-            pool: self.pool.stats(),
-            wal_records: wal.records(),
-            wal_durable_bytes: wal.durable_bytes(),
+            io: self.io_totals(),
+            pool: self.pool_totals(),
+            wal_records: self.wal.records(),
+            wal_durable_bytes: self.wal.durable_bytes(),
+            wal: self.wal.stats(),
+            tables: infos.len(),
+            total_rows: infos.iter().map(|i| i.rows).sum(),
         }
+    }
+
+    /// WAL group-commit behaviour counters.
+    pub fn wal_stats(&self) -> GroupCommitStats {
+        self.wal.stats()
     }
 
     /// Routing decisions by chosen path (cost-based executions only;
@@ -527,13 +844,18 @@ impl Engine {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn slot(&self, table: &str) -> Result<Arc<RwLock<TableSlot>>> {
+    fn entry(&self, table: &str) -> Result<Arc<TableEntry>> {
         self.catalog
             .read()
             .get(table)
             .cloned()
             .ok_or_else(|| EngineError::UnknownTable(table.to_string()))
     }
+}
+
+/// A plan for a query that touched no shard at all.
+fn empty_plan() -> PlanChoice {
+    PlanChoice { path: AccessPath::FullScan, est_ms: 0.0, alternatives: Vec::new() }
 }
 
 // The engine must be shareable across session threads.
@@ -549,21 +871,28 @@ mod tests {
     use cm_query::Pred;
     use cm_storage::{Column, Value, ValueType};
 
-    fn demo_engine() -> Arc<Engine> {
-        let engine = Engine::new(EngineConfig::default());
+    fn demo_rows(n: i64, cats: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                let cat = i % cats;
+                vec![Value::Int(cat), Value::Int(cat * 100 + (i * 7) % 100)]
+            })
+            .collect()
+    }
+
+    fn demo_engine_with(config: EngineConfig) -> Arc<Engine> {
+        let engine = Engine::new(config);
         let schema = Arc::new(Schema::new(vec![
             Column::new("catid", ValueType::Int),
             Column::new("price", ValueType::Int),
         ]));
         engine.create_table("items", schema, 0, 20, 100).unwrap();
-        let rows: Vec<Row> = (0..5000i64)
-            .map(|i| {
-                let cat = i % 100;
-                vec![Value::Int(cat), Value::Int(cat * 100 + (i * 7) % 100)]
-            })
-            .collect();
-        engine.load("items", rows).unwrap();
+        engine.load("items", demo_rows(5000, 100)).unwrap();
         engine
+    }
+
+    fn demo_engine() -> Arc<Engine> {
+        demo_engine_with(EngineConfig::default())
     }
 
     #[test]
@@ -572,6 +901,7 @@ mod tests {
         let info = engine.table_info("items").unwrap();
         assert!(info.loaded);
         assert_eq!(info.rows, 5000);
+        assert_eq!(info.shards, 1);
         let out = engine
             .execute("items", &Query::single(Pred::eq(0, 42i64)))
             .unwrap();
@@ -727,5 +1057,197 @@ mod tests {
         let warm = engine.execute("items", &q).unwrap();
         assert_eq!(cold.run.matched, warm.run.matched);
         assert!(warm.run.ms() < 0.5 * cold.run.ms(), "{} vs {}", warm.run.ms(), cold.run.ms());
+    }
+
+    // ---- sharded behaviour -------------------------------------------
+
+    fn sharded_engine(shards: usize) -> Arc<Engine> {
+        demo_engine_with(EngineConfig { shards, ..EngineConfig::default() })
+    }
+
+    #[test]
+    fn load_partitions_across_shards() {
+        let engine = sharded_engine(4);
+        let info = engine.table_info("items").unwrap();
+        assert_eq!(info.shards, 4);
+        assert_eq!(info.rows, 5000);
+        let mut per_shard = Vec::new();
+        engine
+            .with_each_shard("items", |_, t| per_shard.push(t.heap().len()))
+            .unwrap();
+        assert_eq!(per_shard.iter().sum::<u64>(), 5000);
+        assert!(per_shard.iter().all(|&n| n > 0), "every shard holds rows: {per_shard:?}");
+        assert!(matches!(
+            engine.with_table("items", |_| ()),
+            Err(EngineError::ShardedTable(_))
+        ));
+    }
+
+    #[test]
+    fn point_query_touches_exactly_one_shard() {
+        let engine = sharded_engine(4);
+        let q = Query::single(Pred::eq(0, 42i64));
+        assert_eq!(engine.route_shards("items", &q).unwrap().len(), 1);
+        let io_before = engine.shard_io();
+        let out = engine.execute("items", &q).unwrap();
+        assert_eq!(out.run.matched, 50);
+        assert_eq!(out.shards.len(), 1);
+        let io_after = engine.shard_io();
+        let touched: Vec<usize> = (0..4)
+            .filter(|&i| io_after[i].pages() > io_before[i].pages())
+            .collect();
+        assert_eq!(touched, out.shards, "I/O only on the owning shard");
+    }
+
+    #[test]
+    fn range_query_fans_out_to_overlapping_shards_only() {
+        let engine = sharded_engine(4);
+        // Keys 0..100, four shards of ~25 keys: a [0, 30] range overlaps
+        // the first two shards.
+        let q = Query::single(Pred::between(0, 0i64, 30i64));
+        let shards = engine.route_shards("items", &q).unwrap();
+        assert!(shards.len() < 4, "narrow range prunes shards: {shards:?}");
+        let out = engine.execute("items", &q).unwrap();
+        assert_eq!(out.run.matched, 31 * 50);
+        assert_eq!(out.shards, shards);
+        // An unpredicated-column query fans out everywhere.
+        let all = engine
+            .execute("items", &Query::single(Pred::eq(1, 4217i64)))
+            .unwrap();
+        assert_eq!(all.shards, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sharded_results_match_unsharded_oracle() {
+        let sharded = sharded_engine(4);
+        let flat = demo_engine();
+        let queries = [
+            Query::single(Pred::eq(0, 13i64)),
+            Query::single(Pred::between(0, 10i64, 60i64)),
+            Query::single(Pred::is_in(0, vec![Value::Int(3), Value::Int(55), Value::Int(99)])),
+            Query::single(Pred::eq(1, 4217i64)),
+            Query::new(vec![Pred::between(0, 20i64, 80i64), Pred::eq(1, 4217i64)]),
+            Query::default(),
+        ];
+        for q in &queries {
+            let a = sharded.execute_collect("items", q).unwrap();
+            let b = flat.execute_collect("items", q).unwrap();
+            let mut ra = a.rows.unwrap();
+            let mut rb = b.rows.unwrap();
+            ra.sort();
+            rb.sort();
+            assert_eq!(ra, rb, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn conjunction_on_the_clustered_column_is_preserved() {
+        // Regression: a range AND an equality on the clustered column
+        // must both survive shard restriction (the equality used to be
+        // overwritten by the restricted range).
+        let q = Query::new(vec![Pred::between(0, 0i64, 99i64), Pred::eq(0, 5i64)]);
+        for shards in [1, 4] {
+            let engine = sharded_engine(shards);
+            let out = engine.execute("items", &q).unwrap();
+            assert_eq!(out.run.matched, 50, "{shards} shard(s)");
+        }
+    }
+
+    #[test]
+    fn sharded_inserts_route_to_owner_and_deletes_roundtrip() {
+        let engine = sharded_engine(4);
+        engine.create_btree("items", "price_idx", vec![1]).unwrap();
+        // Key 99 lives in the last shard; key 0 in the first.
+        let hi = engine.insert("items", vec![Value::Int(99), Value::Int(777_777)]).unwrap();
+        let lo = engine.insert("items", vec![Value::Int(0), Value::Int(888_888)]).unwrap();
+        engine.commit();
+        assert_eq!(hi.shard_index(), 3);
+        assert_eq!(lo.shard_index(), 0);
+        let q = Query::single(Pred::eq(1, 777_777i64));
+        assert_eq!(engine.execute("items", &q).unwrap().run.matched, 1);
+        let row = engine.delete("items", hi).unwrap();
+        assert_eq!(row[0], Value::Int(99));
+        assert_eq!(engine.execute("items", &q).unwrap().run.matched, 0);
+        // A RID tagged with a nonexistent shard errors cleanly.
+        assert!(matches!(
+            engine.delete("items", Rid::sharded(7, Rid(0))),
+            Err(EngineError::BadRid { .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_delete_where_spans_shards() {
+        let engine = sharded_engine(4);
+        let victims = engine
+            .delete_where("items", &Query::single(Pred::between(0, 24i64, 26i64)))
+            .unwrap();
+        assert_eq!(victims.len(), 3 * 50);
+        let rest = engine
+            .execute("items", &Query::single(Pred::between(0, 0i64, 1_000i64)))
+            .unwrap();
+        assert_eq!(rest.run.matched, 5000 - 150);
+    }
+
+    #[test]
+    fn group_commit_absorbs_redundant_commits() {
+        let engine = demo_engine();
+        engine.insert("items", vec![Value::Int(1), Value::Int(1)]).unwrap();
+        let io1 = engine.commit();
+        assert!(io1.page_writes >= 1, "first commit flushes");
+        let io2 = engine.commit();
+        assert_eq!(io2, IoStats::default(), "nothing new: absorbed");
+        let wal = engine.wal_stats();
+        assert_eq!(wal.commit_requests, 2);
+        assert_eq!(wal.absorbed, 1);
+        assert_eq!(wal.flushes, 1);
+    }
+
+    #[test]
+    fn wal_flushes_land_on_the_log_disk() {
+        let engine = demo_engine();
+        let shard_before = engine.shard_io();
+        engine.insert("items", vec![Value::Int(1), Value::Int(1)]).unwrap();
+        let shard_after_insert = engine.shard_io();
+        let log_before = engine.log_disk().stats();
+        engine.commit();
+        assert_eq!(engine.shard_io(), shard_after_insert, "commit touches no shard disk");
+        assert!(engine.log_disk().stats().page_writes > log_before.page_writes);
+        // The insert itself touched shard storage, not the log.
+        assert!(shard_after_insert[0].pages() > shard_before[0].pages());
+    }
+
+    #[test]
+    fn stats_stay_consistent_while_a_writer_is_active() {
+        let engine = sharded_engine(2);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writer_engine = engine.clone();
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                for i in 0..500i64 {
+                    writer_engine
+                        .insert("items", vec![Value::Int(i % 100), Value::Int(i)])
+                        .unwrap();
+                }
+                writer_engine.commit();
+                stop_ref.store(true, Ordering::Release);
+            });
+            // Reader: aggregate stats must never go backwards and never
+            // deadlock against the writer's per-shard locks.
+            let mut last_rows = 0u64;
+            let mut last_inserts = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let s = engine.stats();
+                assert!(s.total_rows >= last_rows, "{} < {last_rows}", s.total_rows);
+                assert!(s.inserts >= last_inserts);
+                assert_eq!(s.tables, 1);
+                last_rows = s.total_rows;
+                last_inserts = s.inserts;
+            }
+        });
+        let s = engine.stats();
+        assert_eq!(s.inserts, 500);
+        assert_eq!(s.total_rows, 5000 + 500);
+        assert_eq!(engine.table_infos().len(), 1);
     }
 }

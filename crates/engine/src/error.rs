@@ -24,6 +24,16 @@ pub enum EngineError {
         /// Offending column position.
         col: usize,
     },
+    /// A RID's shard tag does not address a shard of this table.
+    BadRid {
+        /// Table name.
+        table: String,
+        /// The offending RID (or shard index).
+        rid: u64,
+    },
+    /// The operation requires a single-shard table but this table is
+    /// partitioned (use the per-shard accessors instead).
+    ShardedTable(String),
 }
 
 impl fmt::Display for EngineError {
@@ -36,6 +46,12 @@ impl fmt::Display for EngineError {
             EngineError::AlreadyLoaded(t) => write!(f, "table {t:?} is already loaded"),
             EngineError::BadColumn { table, col } => {
                 write!(f, "column {col} out of range for table {table:?}")
+            }
+            EngineError::BadRid { table, rid } => {
+                write!(f, "rid {rid} addresses no shard of table {table:?}")
+            }
+            EngineError::ShardedTable(t) => {
+                write!(f, "table {t:?} is sharded; use a per-shard accessor")
             }
         }
     }

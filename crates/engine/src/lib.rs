@@ -8,13 +8,22 @@
 //! them and picked its access path by hand. [`Engine`] assembles them
 //! into one runnable system:
 //!
-//! * a **catalog** of named tables, each bundling its clustered heap,
-//!   sparse clustered index, bucket directory, secondary B+Trees, and
-//!   CMs, guarded by a per-table `RwLock` so readers run concurrently and
-//!   writers serialize per table, not per engine;
-//! * a shared [`cm_storage::DiskSim`] + [`cm_storage::BufferPool`] and a
-//!   single engine [`cm_storage::Wal`], so maintenance pressure and
-//!   query traffic interact exactly as in the paper's Experiment 3;
+//! * a **catalog** of named tables, each range-partitioned on its
+//!   clustered attribute across N **storage shards** — every partition
+//!   bundles its clustered heap, sparse clustered index, bucket
+//!   directory, secondary B+Trees, and CMs behind its own `RwLock`, so
+//!   readers run concurrently and writers serialize per *shard*, not per
+//!   engine or even per table;
+//! * one [`cm_storage::StorageShard`] (simulated disk + buffer pool) per
+//!   shard, so concurrent scans on different shards stop interleaving a
+//!   single disk head, plus a dedicated log disk behind a
+//!   [`cm_storage::GroupCommitWal`] whose leader-elected batched flushes
+//!   make concurrent commits share tail writes;
+//! * a **range router** ([`RangeRouter`]): point predicates on the
+//!   clustered column reach exactly one shard, ranges fan out only to
+//!   the shards they overlap, and each shard executes the query
+//!   intersected with its ownership range
+//!   ([`cm_query::restrict_to_shard`]);
 //! * **cost-based routing**: every [`Engine::execute`] call consults the
 //!   paper's §3–§6 cost model via [`cm_query::Planner`] and routes the
 //!   query to the cheapest of the four physical access paths (full scan,
@@ -52,11 +61,13 @@
 mod engine;
 mod error;
 mod session;
+pub mod shard;
 pub mod workload;
 
 pub use engine::{Engine, EngineConfig, EngineStats, QueryOutcome, RouteCounts, TableInfo};
 pub use error::EngineError;
 pub use session::{Session, SessionStats};
+pub use shard::{partition_rows, RangeRouter};
 pub use workload::{run_mixed, MixedWorkloadConfig, WorkloadReport};
 
 /// Crate-wide result alias.

@@ -1,0 +1,234 @@
+//! Clustered-key range routing across storage shards.
+//!
+//! A sharded table is partitioned into contiguous clustered-key ranges,
+//! one per storage shard. The [`RangeRouter`] is the routing table the
+//! engine derives from the clustered attribute at load time: split keys
+//! mark where each shard's ownership begins, so point predicates route
+//! to exactly one shard, range predicates fan out only to the shards
+//! they overlap, and unpredicated queries fan out to all of them.
+
+use cm_query::{PredOp, Query, ShardRange};
+use cm_storage::{Row, Value};
+
+/// Routing table: `splits[i]` is the smallest clustered key shard `i+1`
+/// owns; shard 0 owns everything below `splits[0]` and the last shard
+/// everything from `splits.last()` up.
+#[derive(Debug, Clone)]
+pub struct RangeRouter {
+    col: usize,
+    splits: Vec<Value>,
+}
+
+impl RangeRouter {
+    /// A router over `splits.len() + 1` shards, partitioning on `col`.
+    /// `splits` must be strictly increasing.
+    pub fn new(col: usize, splits: Vec<Value>) -> Self {
+        debug_assert!(
+            splits.windows(2).all(|w| w[0] < w[1]),
+            "split keys are strictly increasing"
+        );
+        RangeRouter { col, splits }
+    }
+
+    /// The clustered column routing keys come from.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    /// Number of shards this router addresses.
+    pub fn num_shards(&self) -> usize {
+        self.splits.len() + 1
+    }
+
+    /// The shard owning key `v`.
+    pub fn shard_of_key(&self, v: &Value) -> usize {
+        self.splits.partition_point(|s| s <= v)
+    }
+
+    /// The shard owning `row` (routes by its clustered column).
+    pub fn shard_of_row(&self, row: &Row) -> usize {
+        self.shard_of_key(&row[self.col])
+    }
+
+    /// The ownership interval of shard `i`.
+    pub fn range_of(&self, i: usize) -> ShardRange {
+        debug_assert!(i < self.num_shards());
+        ShardRange {
+            lo: i.checked_sub(1).map(|p| self.splits[p].clone()),
+            hi: self.splits.get(i).cloned(),
+        }
+    }
+
+    /// The shards `q` must fan out to, in ascending order: the owners of
+    /// the clustered-column predicate's keys, or every shard when the
+    /// query does not restrict the clustered column.
+    pub fn shards_for(&self, q: &Query) -> Vec<usize> {
+        let Some(pred) = q.pred_on(self.col) else {
+            return (0..self.num_shards()).collect();
+        };
+        match &pred.op {
+            PredOp::Eq(v) => vec![self.shard_of_key(v)],
+            PredOp::In(vs) => {
+                let mut ids: Vec<usize> = vs.iter().map(|v| self.shard_of_key(v)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            }
+            PredOp::Between(lo, hi) => {
+                if hi < lo {
+                    return Vec::new();
+                }
+                (self.shard_of_key(lo)..=self.shard_of_key(hi)).collect()
+            }
+        }
+    }
+}
+
+/// Partition `rows` into at most `shards` contiguous clustered-key
+/// chunks of near-equal size, never splitting one key value across two
+/// chunks (so point queries stay single-shard). Returns the chunks plus
+/// the split keys (each chunk's smallest key, from the second chunk on)
+/// for [`RangeRouter::new`]. Fewer chunks come back when the data has
+/// too few distinct keys to fill every shard.
+pub fn partition_rows(mut rows: Vec<Row>, col: usize, shards: usize) -> (Vec<Vec<Row>>, Vec<Value>) {
+    rows.sort_by(|a, b| a[col].cmp(&b[col]));
+    if shards <= 1 || rows.len() < 2 {
+        return (vec![rows], Vec::new());
+    }
+    let target = rows.len().div_ceil(shards);
+    let mut chunks: Vec<Vec<Row>> = Vec::with_capacity(shards);
+    let mut splits: Vec<Value> = Vec::with_capacity(shards - 1);
+    let mut rest = rows;
+    while chunks.len() + 1 < shards && rest.len() > target {
+        // Advance the cut past ties so one key never straddles a split.
+        let mut cut = target;
+        while cut < rest.len() && rest[cut][col] == rest[cut - 1][col] {
+            cut += 1;
+        }
+        if cut >= rest.len() {
+            break;
+        }
+        let tail = rest.split_off(cut);
+        chunks.push(std::mem::replace(&mut rest, tail));
+        splits.push(rest[0][col].clone());
+    }
+    chunks.push(rest);
+    (chunks, splits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_query::Pred;
+
+    fn router() -> RangeRouter {
+        RangeRouter::new(0, vec![Value::Int(10), Value::Int(20), Value::Int(30)])
+    }
+
+    #[test]
+    fn keys_route_to_owning_shard() {
+        let r = router();
+        assert_eq!(r.num_shards(), 4);
+        assert_eq!(r.shard_of_key(&Value::Int(-5)), 0);
+        assert_eq!(r.shard_of_key(&Value::Int(9)), 0);
+        assert_eq!(r.shard_of_key(&Value::Int(10)), 1, "split key belongs to the right");
+        assert_eq!(r.shard_of_key(&Value::Int(29)), 2);
+        assert_eq!(r.shard_of_key(&Value::Int(1000)), 3);
+    }
+
+    #[test]
+    fn ranges_tile_the_key_space() {
+        let r = router();
+        assert_eq!(r.range_of(0), ShardRange { lo: None, hi: Some(Value::Int(10)) });
+        assert_eq!(
+            r.range_of(2),
+            ShardRange { lo: Some(Value::Int(20)), hi: Some(Value::Int(30)) }
+        );
+        assert_eq!(r.range_of(3), ShardRange { lo: Some(Value::Int(30)), hi: None });
+        for i in 0..r.num_shards() {
+            let range = r.range_of(i);
+            for k in -5i64..45 {
+                let v = Value::Int(k);
+                assert_eq!(range.contains(&v), r.shard_of_key(&v) == i, "key {k} shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_and_range_fanout() {
+        let r = router();
+        assert_eq!(r.shards_for(&Query::single(Pred::eq(0, 15i64))), vec![1]);
+        assert_eq!(
+            r.shards_for(&Query::single(Pred::is_in(
+                0,
+                vec![Value::Int(5), Value::Int(35), Value::Int(6)],
+            ))),
+            vec![0, 3]
+        );
+        assert_eq!(
+            r.shards_for(&Query::single(Pred::between(0, 12i64, 22i64))),
+            vec![1, 2]
+        );
+        assert_eq!(
+            r.shards_for(&Query::single(Pred::eq(1, 7i64))),
+            vec![0, 1, 2, 3],
+            "no clustered predicate: all shards"
+        );
+        assert!(r.shards_for(&Query::single(Pred::between(0, 9i64, 2i64))).is_empty());
+    }
+
+    #[test]
+    fn partitioning_balances_without_splitting_keys() {
+        let rows: Vec<Row> = (0..1000i64).map(|i| vec![Value::Int(i % 50)]).collect();
+        let (chunks, splits) = partition_rows(rows, 0, 4);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(splits.len(), 3);
+        assert_eq!(chunks.iter().map(Vec::len).sum::<usize>(), 1000);
+        for chunk in &chunks {
+            assert!((200..=300).contains(&chunk.len()), "near-equal: {}", chunk.len());
+        }
+        // No key appears in two chunks, and splits are each chunk's min.
+        for (i, s) in splits.iter().enumerate() {
+            assert_eq!(&chunks[i + 1][0][0], s);
+            assert!(chunks[i].last().unwrap()[0] < *s);
+        }
+    }
+
+    #[test]
+    fn partitioning_degenerates_gracefully() {
+        // One distinct key: everything lands in one chunk.
+        let rows: Vec<Row> = (0..100).map(|_| vec![Value::Int(7)]).collect();
+        let (chunks, splits) = partition_rows(rows, 0, 4);
+        assert_eq!(chunks.len(), 1);
+        assert!(splits.is_empty());
+        // Fewer rows than shards.
+        let rows: Vec<Row> = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
+        let (chunks, _) = partition_rows(rows, 0, 8);
+        assert!(chunks.len() <= 2);
+        // Zero rows.
+        let (chunks, splits) = partition_rows(Vec::new(), 0, 4);
+        assert_eq!(chunks.len(), 1);
+        assert!(splits.is_empty());
+    }
+
+    #[test]
+    fn partitioning_preserves_rows_and_order() {
+        let rows: Vec<Row> = (0..300i64).rev().map(|i| vec![Value::Int(i / 3)]).collect();
+        let (chunks, splits) = partition_rows(rows, 0, 3);
+        let flat: Vec<i64> = chunks
+            .iter()
+            .flatten()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        let mut sorted = flat.clone();
+        sorted.sort_unstable();
+        assert_eq!(flat, sorted, "concatenated chunks are globally sorted");
+        assert_eq!(flat.len(), 300);
+        let router = RangeRouter::new(0, splits);
+        for (i, chunk) in chunks.iter().enumerate() {
+            for row in chunk {
+                assert_eq!(router.shard_of_row(row), i, "router agrees with the split");
+            }
+        }
+    }
+}

@@ -22,9 +22,11 @@
 pub mod exec;
 pub mod plan;
 pub mod predicate;
+pub mod shard;
 pub mod table;
 
 pub use exec::{ExecContext, RunResult};
 pub use plan::{AccessPath, PlanChoice, Planner};
 pub use predicate::{Pred, PredOp, Query};
+pub use shard::{restrict_to_shard, ShardRange};
 pub use table::{ColumnStats, Table};

@@ -1,0 +1,227 @@
+//! Shard-aware predicate intersection.
+//!
+//! When a table is partitioned by clustered-key range, a query fanned
+//! out to a shard should carry only the part of its clustered-attribute
+//! predicate that can match inside that shard: the CM lookup, the
+//! planner's range-width estimate, and secondary-index range probes all
+//! narrow accordingly (the per-partition pruning HRDBMS-style hybrid
+//! stores perform before executing a partition's plan).
+
+use crate::predicate::{Pred, PredOp, Query};
+use cm_storage::Value;
+
+/// The clustered-key interval a shard owns: `[lo, hi)` with `None`
+/// meaning unbounded on that side. The lower bound is inclusive and the
+/// upper bound exclusive, so consecutive shards tile the key space with
+/// no gaps or overlaps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRange {
+    /// Inclusive lower bound (`None`: unbounded below — the first shard).
+    pub lo: Option<Value>,
+    /// Exclusive upper bound (`None`: unbounded above — the last shard).
+    pub hi: Option<Value>,
+}
+
+impl ShardRange {
+    /// The whole key space (a table with a single shard).
+    pub fn full() -> Self {
+        ShardRange { lo: None, hi: None }
+    }
+
+    /// Does the shard own key `v`?
+    pub fn contains(&self, v: &Value) -> bool {
+        if let Some(lo) = &self.lo {
+            if v < lo {
+                return false;
+            }
+        }
+        if let Some(hi) = &self.hi {
+            if v >= hi {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Can an inclusive `[lo, hi]` predicate interval intersect this
+    /// shard's ownership interval?
+    pub fn overlaps_between(&self, lo: &Value, hi: &Value) -> bool {
+        if let Some(slo) = &self.lo {
+            if hi < slo {
+                return false;
+            }
+        }
+        if let Some(shi) = &self.hi {
+            if lo >= shi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Intersect `q`'s predicate on the clustered column `col` with a
+/// shard's ownership range. Returns `None` when the query cannot match
+/// any row the shard owns (the shard is pruned from the fan-out), and
+/// otherwise the query to run on that shard:
+///
+/// * `Eq` is kept iff the value lies in the range;
+/// * `In` lists drop the values other shards own;
+/// * `Between` is clamped to the range's inclusive lower bound (the
+///   exclusive upper bound cannot be expressed as an inclusive endpoint
+///   for every value type; the shard holds no keys beyond it, so the
+///   unclamped end adds no false positives).
+///
+/// Predicates on other columns pass through untouched — the row
+/// re-filter applies them as usual.
+pub fn restrict_to_shard(q: &Query, col: usize, range: &ShardRange) -> Option<Query> {
+    let mut preds = Vec::with_capacity(q.preds.len());
+    for p in &q.preds {
+        if p.col != col {
+            preds.push(p.clone());
+            continue;
+        }
+        // Each clustered-column conjunct is restricted on its own: a
+        // query may carry several (e.g. a range AND an equality).
+        preds.push(Pred { col, op: restrict_op(&p.op, range)? });
+    }
+    Some(Query { preds })
+}
+
+/// One predicate op intersected with the shard range; `None` when it
+/// cannot match inside the range.
+fn restrict_op(op: &PredOp, range: &ShardRange) -> Option<PredOp> {
+    match op {
+        PredOp::Eq(v) => range.contains(v).then(|| PredOp::Eq(v.clone())),
+        PredOp::In(vs) => {
+            let kept: Vec<Value> =
+                vs.iter().filter(|v| range.contains(v)).cloned().collect();
+            if kept.is_empty() {
+                return None;
+            }
+            Some(PredOp::In(kept))
+        }
+        PredOp::Between(lo, hi) => {
+            if !range.overlaps_between(lo, hi) {
+                return None;
+            }
+            let lo = match &range.lo {
+                Some(slo) if slo > lo => slo.clone(),
+                _ => lo.clone(),
+            };
+            Some(PredOp::Between(lo, hi.clone()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(lo: i64, hi: i64) -> ShardRange {
+        ShardRange { lo: Some(Value::Int(lo)), hi: Some(Value::Int(hi)) }
+    }
+
+    #[test]
+    fn full_range_owns_everything() {
+        let r = ShardRange::full();
+        assert!(r.contains(&Value::Int(i64::MIN)));
+        assert!(r.contains(&Value::str("zzz")));
+        assert!(r.overlaps_between(&Value::Int(-5), &Value::Int(5)));
+    }
+
+    #[test]
+    fn bounds_are_half_open() {
+        let r = range(10, 20);
+        assert!(r.contains(&Value::Int(10)), "lower bound inclusive");
+        assert!(r.contains(&Value::Int(19)));
+        assert!(!r.contains(&Value::Int(20)), "upper bound exclusive");
+        assert!(!r.contains(&Value::Int(9)));
+    }
+
+    #[test]
+    fn eq_kept_or_pruned() {
+        let q = Query::single(Pred::eq(0, 15i64));
+        assert_eq!(restrict_to_shard(&q, 0, &range(10, 20)), Some(q.clone()));
+        assert_eq!(restrict_to_shard(&q, 0, &range(20, 30)), None);
+        assert_eq!(restrict_to_shard(&q, 0, &range(0, 15)), None, "hi is exclusive");
+    }
+
+    #[test]
+    fn in_list_filtered_per_shard() {
+        let q = Query::single(Pred::is_in(
+            0,
+            vec![Value::Int(5), Value::Int(15), Value::Int(25)],
+        ));
+        let restricted = restrict_to_shard(&q, 0, &range(10, 20)).unwrap();
+        assert_eq!(
+            restricted.preds[0].op,
+            PredOp::In(vec![Value::Int(15)]),
+            "only the owned value survives"
+        );
+        assert_eq!(restrict_to_shard(&q, 0, &range(30, 40)), None);
+    }
+
+    #[test]
+    fn between_clamped_to_inclusive_lower_bound() {
+        let q = Query::single(Pred::between(0, 0i64, 100i64));
+        let restricted = restrict_to_shard(&q, 0, &range(10, 20)).unwrap();
+        assert_eq!(
+            restricted.preds[0].op,
+            PredOp::Between(Value::Int(10), Value::Int(100)),
+            "lo clamped; exclusive hi left to the shard's own extent"
+        );
+        // Disjoint on either side prunes the shard.
+        assert_eq!(
+            restrict_to_shard(&Query::single(Pred::between(0, 20i64, 30i64)), 0, &range(10, 20)),
+            None,
+            "pred lo at the exclusive bound"
+        );
+        assert_eq!(
+            restrict_to_shard(&Query::single(Pred::between(0, 0i64, 9i64)), 0, &range(10, 20)),
+            None
+        );
+    }
+
+    #[test]
+    fn unbounded_edges_restrict_one_side_only() {
+        let first = ShardRange { lo: None, hi: Some(Value::Int(10)) };
+        let last = ShardRange { lo: Some(Value::Int(10)), hi: None };
+        let q = Query::single(Pred::between(0, 5i64, 50i64));
+        let a = restrict_to_shard(&q, 0, &first).unwrap();
+        assert_eq!(a.preds[0].op, PredOp::Between(Value::Int(5), Value::Int(50)));
+        let b = restrict_to_shard(&q, 0, &last).unwrap();
+        assert_eq!(b.preds[0].op, PredOp::Between(Value::Int(10), Value::Int(50)));
+    }
+
+    #[test]
+    fn multiple_predicates_on_the_clustered_column_survive() {
+        // Regression: a conjunction with several clustered-column
+        // conjuncts must keep each one (restricted), not overwrite all
+        // of them with the first.
+        let q = Query::new(vec![Pred::between(0, 0i64, 99i64), Pred::eq(0, 15i64)]);
+        let restricted = restrict_to_shard(&q, 0, &range(10, 20)).unwrap();
+        assert_eq!(restricted.preds.len(), 2);
+        assert_eq!(restricted.preds[0].op, PredOp::Between(Value::Int(10), Value::Int(99)));
+        assert_eq!(restricted.preds[1].op, PredOp::Eq(Value::Int(15)));
+        // Row 12 passes the range but not the equality — the restricted
+        // conjunction must still reject it.
+        assert!(!restricted.matches(&[Value::Int(12)]));
+        assert!(restricted.matches(&[Value::Int(15)]));
+        // If any clustered conjunct is disjoint from the shard, the
+        // whole conjunction is unsatisfiable there.
+        let q = Query::new(vec![Pred::between(0, 0i64, 99i64), Pred::eq(0, 25i64)]);
+        assert_eq!(restrict_to_shard(&q, 0, &range(10, 20)), None);
+    }
+
+    #[test]
+    fn other_columns_pass_through() {
+        let q = Query::new(vec![Pred::eq(0, 15i64), Pred::eq(2, 7i64)]);
+        let restricted = restrict_to_shard(&q, 0, &range(10, 20)).unwrap();
+        assert_eq!(restricted.preds.len(), 2);
+        assert_eq!(restricted.preds[1], Pred::eq(2, 7i64));
+        // A query without a clustered-column predicate is untouched.
+        let q = Query::single(Pred::eq(2, 7i64));
+        assert_eq!(restrict_to_shard(&q, 0, &range(10, 20)), Some(q.clone()));
+    }
+}

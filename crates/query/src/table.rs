@@ -12,7 +12,7 @@ use cm_core::{BucketDirectory, CmSpec, CorrelationMap};
 use cm_index::{ClusteredIndex, SecondaryIndex};
 use cm_stats::{correlation_stats, CorrelationStats};
 use cm_storage::{
-    DiskSim, HeapFile, PageAccessor, Rid, Row, Schema, StorageError, Value, Wal,
+    DiskSim, HeapFile, LogWrite, PageAccessor, Rid, Row, Schema, StorageError, Value,
 };
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -203,7 +203,7 @@ impl Table {
     pub fn insert_row(
         &mut self,
         io: &dyn PageAccessor,
-        mut wal: Option<&mut Wal>,
+        mut wal: Option<&mut dyn LogWrite>,
         row: Row,
     ) -> Result<Rid, StorageError> {
         let rid = self.heap.append(io, row)?;
@@ -232,7 +232,7 @@ impl Table {
     pub fn delete_row(
         &mut self,
         io: &dyn PageAccessor,
-        mut wal: Option<&mut Wal>,
+        mut wal: Option<&mut dyn LogWrite>,
         rid: Rid,
     ) -> Result<Row, StorageError> {
         let row = self.heap.delete(io, rid)?;
@@ -259,7 +259,7 @@ impl Table {
 mod tests {
     use super::*;
     use cm_core::{AttrConstraint, CmAttr};
-    use cm_storage::{BufferPool, Column, ValueType};
+    use cm_storage::{BufferPool, Column, ValueType, Wal};
 
     fn demo_table(disk: &DiskSim) -> Table {
         let schema = Arc::new(Schema::new(vec![

@@ -28,6 +28,26 @@ pub struct PoolStats {
     pub clean_evictions: u64,
 }
 
+impl PoolStats {
+    /// `self - earlier`, for snapshot-delta reporting.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            dirty_evictions: self.dirty_evictions - earlier.dirty_evictions,
+            clean_evictions: self.clean_evictions - earlier.clean_evictions,
+        }
+    }
+
+    /// Accumulate another stats delta into this one.
+    pub fn add(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.dirty_evictions += other.dirty_evictions;
+        self.clean_evictions += other.clean_evictions;
+    }
+}
+
 struct Frame {
     dirty: bool,
     /// Clock reference bit (second-chance eviction, like PostgreSQL's

@@ -21,6 +21,11 @@
 //!   maintenance pressure on the buffer pool).
 //! * [`Wal`] — a write-ahead log whose flushes are charged to the disk,
 //!   used to give CMs recoverability comparable to B+Trees (§7.1).
+//! * [`StorageShard`] — one disk + pool pair; a set of them lets a higher
+//!   layer partition data so concurrent scans stop interleaving a single
+//!   simulated head.
+//! * [`GroupCommitWal`] — leader-elected batched commits over a [`Wal`]:
+//!   concurrent committers share one tail flush.
 //!
 //! All higher layers (`cm-index`, `cm-core`, `cm-query`, …) charge their
 //! I/O through the [`PageAccessor`] trait so that an experiment can route
@@ -31,9 +36,11 @@ pub mod bufferpool;
 pub mod cache;
 pub mod disk;
 pub mod error;
+pub mod group_commit;
 pub mod heap;
 pub mod rid;
 pub mod schema;
+pub mod shard;
 pub mod value;
 pub mod wal;
 
@@ -41,11 +48,13 @@ pub use bufferpool::{BufferPool, PoolStats};
 pub use cache::ReadCache;
 pub use disk::{DiskConfig, DiskSim, FileId, IoStats, PageAccessor};
 pub use error::StorageError;
+pub use group_commit::{GroupCommitConfig, GroupCommitStats, GroupCommitWal};
 pub use heap::HeapFile;
 pub use rid::Rid;
 pub use schema::{Column, Row, Schema, ValueType};
+pub use shard::{aggregate_io, aggregate_pool, makespan_ms, StorageShard};
 pub use value::{OrdF64, Value};
-pub use wal::Wal;
+pub use wal::{LogWrite, Wal, WalBatch};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, StorageError>;

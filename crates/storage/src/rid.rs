@@ -10,6 +10,15 @@
 pub struct Rid(pub u64);
 
 impl Rid {
+    /// Bits reserved (at the top of the word) for a shard index when a
+    /// table is partitioned across storage shards. 56 bits remain for
+    /// the in-shard row ordinal — far beyond any heap this simulator
+    /// will hold.
+    pub const SHARD_BITS: u32 = 8;
+    /// Maximum number of shards a sharded RID can address.
+    pub const MAX_SHARDS: usize = 1 << Self::SHARD_BITS;
+    const LOCAL_MASK: u64 = (1 << (64 - Self::SHARD_BITS)) - 1;
+
     /// The page this RID lives on for a file with `tups_per_page` tuples
     /// per page.
     #[inline]
@@ -21,6 +30,27 @@ impl Rid {
     #[inline]
     pub fn slot(self, tups_per_page: usize) -> usize {
         (self.0 % tups_per_page as u64) as usize
+    }
+
+    /// Tag a shard-local RID with its shard index. Shard 0 is the
+    /// identity, so unsharded code keeps seeing plain ordinals.
+    #[inline]
+    pub fn sharded(shard: usize, local: Rid) -> Rid {
+        debug_assert!(shard < Self::MAX_SHARDS, "shard index fits the tag");
+        debug_assert_eq!(local.0 & !Self::LOCAL_MASK, 0, "local rid fits 56 bits");
+        Rid(((shard as u64) << (64 - Self::SHARD_BITS)) | local.0)
+    }
+
+    /// The shard index encoded in a sharded RID (0 for plain RIDs).
+    #[inline]
+    pub fn shard_index(self) -> usize {
+        (self.0 >> (64 - Self::SHARD_BITS)) as usize
+    }
+
+    /// The shard-local RID (the RID itself for plain RIDs).
+    #[inline]
+    pub fn local(self) -> Rid {
+        Rid(self.0 & Self::LOCAL_MASK)
     }
 }
 
@@ -48,6 +78,17 @@ mod tests {
         assert_eq!(Rid(0).page(64), 0);
         assert_eq!(Rid(63).page(64), 0);
         assert_eq!(Rid(64).page(64), 1);
+    }
+
+    #[test]
+    fn shard_tagging_roundtrips() {
+        let r = Rid::sharded(3, Rid(1005));
+        assert_eq!(r.shard_index(), 3);
+        assert_eq!(r.local(), Rid(1005));
+        // Shard 0 is the identity encoding.
+        assert_eq!(Rid::sharded(0, Rid(42)), Rid(42));
+        assert_eq!(Rid(42).shard_index(), 0);
+        assert_eq!(Rid(42).local(), Rid(42));
     }
 
     #[test]

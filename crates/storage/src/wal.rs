@@ -12,6 +12,62 @@ use crate::disk::{DiskSim, FileId, IoStats, PageAccessor};
 use bytes::{BufMut, Bytes, BytesMut};
 use std::sync::Arc;
 
+/// Anything maintenance code can log record volumes to: the [`Wal`]
+/// itself, or a [`WalBatch`] gathered outside the log lock so a shared
+/// log's critical section shrinks to the appends alone.
+pub trait LogWrite {
+    /// Append a record described only by its payload size.
+    fn append_sized(&mut self, payload_len: usize);
+}
+
+/// A detached batch of record sizes, replayed onto a [`Wal`] later
+/// (e.g. under a briefly-held log lock).
+#[derive(Debug, Default, Clone)]
+pub struct WalBatch {
+    sizes: Vec<usize>,
+}
+
+impl WalBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        WalBatch::default()
+    }
+
+    /// Number of records gathered.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// The gathered record payload sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Replay every gathered record onto `wal`.
+    pub fn replay(&self, wal: &mut Wal) {
+        for &n in &self.sizes {
+            wal.append_sized(n);
+        }
+    }
+}
+
+impl LogWrite for WalBatch {
+    fn append_sized(&mut self, payload_len: usize) {
+        self.sizes.push(payload_len);
+    }
+}
+
+impl LogWrite for Wal {
+    fn append_sized(&mut self, payload_len: usize) {
+        Wal::append_sized(self, payload_len);
+    }
+}
+
 /// An append-only, page-flushed log on the simulated disk.
 pub struct Wal {
     disk: Arc<DiskSim>,
@@ -67,8 +123,14 @@ impl Wal {
     /// Force the buffered tail to disk; returns the I/O charged.
     ///
     /// Even a tiny commit rewrites the current tail page (torn-page-safe
-    /// logging always flushes whole pages), so a commit is never free.
+    /// logging always flushes whole pages) — but a commit with *nothing
+    /// new* since the last flush is a pure no-op: no disk write, no
+    /// buffer work. Group commit relies on this so absorbed followers
+    /// and redundant leader flushes cost nothing.
     pub fn commit(&mut self) -> IoStats {
+        if self.pending_bytes() == 0 {
+            return IoStats::default();
+        }
         let before = self.disk.stats();
         let total = self.buffer.len();
         let pages = (total as u64).div_ceil(self.page_bytes as u64).max(1);
@@ -129,11 +191,32 @@ mod tests {
     }
 
     #[test]
-    fn empty_commit_still_writes_tail_page() {
+    fn empty_commit_is_a_noop() {
         let disk = DiskSim::with_defaults();
-        let mut wal = Wal::new(disk);
+        let mut wal = Wal::new(disk.clone());
         let io = wal.commit();
-        assert_eq!(io.page_writes, 1);
+        assert_eq!(io.page_writes, 0);
+        assert_eq!(disk.stats(), IoStats::default(), "no disk traffic at all");
+    }
+
+    #[test]
+    fn recommit_with_nothing_pending_is_free() {
+        // Regression: commit used to rewrite the tail page (and shuffle
+        // the buffer) even when nothing was appended since the last
+        // flush.
+        let disk = DiskSim::with_defaults();
+        let mut wal = Wal::new(disk.clone());
+        wal.append(b"payload");
+        let io1 = wal.commit();
+        assert_eq!(io1.page_writes, 1);
+        let durable = wal.durable_bytes();
+        let snap = wal.pending_snapshot();
+        let before = disk.stats();
+        let io2 = wal.commit();
+        assert_eq!(io2, IoStats::default(), "nothing pending: no I/O");
+        assert_eq!(disk.stats(), before, "disk untouched");
+        assert_eq!(wal.durable_bytes(), durable);
+        assert_eq!(wal.pending_snapshot(), snap, "tail buffer untouched");
     }
 
     #[test]

@@ -205,6 +205,67 @@ fn concurrent_mixed_workload_stays_consistent() {
 }
 
 #[test]
+fn sharded_engine_mixed_workload_matches_oracle() {
+    // Same TPC-H table, partitioned across 4 shards: the concurrent
+    // mixed workload must stay consistent, reads must fan out only to
+    // the shards they overlap, and group commit must account for every
+    // session commit.
+    let data = tpch_lineitem(TpchConfig { rows: 30_000, parts: 1_000, suppliers: 50, seed: 77 });
+    let engine = Engine::new(EngineConfig { shards: 4, ..EngineConfig::default() });
+    engine
+        .create_table("lineitem", data.schema.clone(), tpch::COL_RECEIPTDATE, 60, 600)
+        .unwrap();
+    engine.load("lineitem", data.rows.clone()).unwrap();
+    engine
+        .create_cm("lineitem", "ship_cm", CmSpec::single_raw(tpch::COL_SHIPDATE))
+        .unwrap();
+    assert_eq!(engine.table_info("lineitem").unwrap().shards, 4);
+
+    let reads: Vec<Query> = (0..10)
+        .map(|i| Query::single(Pred::is_in(tpch::COL_SHIPDATE, data.random_shipdates(2, i))))
+        .collect();
+    let fresh = data.clone();
+    let report = run_mixed(
+        &engine,
+        &MixedWorkloadConfig {
+            table: "lineitem".into(),
+            reads,
+            insert_rows: fresh.insert_batch(2_000, 99),
+            read_fraction: 0.5,
+            ops: 600,
+            threads: 4,
+            commit_every: 20,
+            seed: 0xBEEF,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.ops, 600);
+    assert_eq!(report.per_shard_io.len(), 4);
+    assert!(
+        report.per_shard_io.iter().filter(|io| io.pages() > 0).count() >= 2,
+        "traffic lands on multiple shards"
+    );
+    assert!(report.sim_makespan_ms <= report.io.elapsed_ms + 1e-9);
+    assert_eq!(report.wal.commit_requests, report.wal.flushes + report.wal.absorbed);
+
+    // Every path agrees with the full-scan oracle after the run.
+    let q = Query::single(Pred::is_in(tpch::COL_SHIPDATE, data.random_shipdates(4, 2)));
+    let oracle = engine.execute_via("lineitem", AccessPath::FullScan, &q).unwrap();
+    let routed = engine.execute("lineitem", &q).unwrap();
+    assert_eq!(routed.run.matched, oracle.run.matched);
+    assert_eq!(engine.stats().inserts, report.writes);
+
+    // A clustered-range query prunes shards.
+    let dates = data.random_shipdates(1, 5);
+    let clustered = Query::single(Pred::between(
+        tpch::COL_RECEIPTDATE,
+        dates[0].clone(),
+        dates[0].clone(),
+    ));
+    assert_eq!(engine.route_shards("lineitem", &clustered).unwrap().len(), 1);
+}
+
+#[test]
 fn multi_table_catalog_is_independent() {
     let (engine, _data, _sec, _cm) = tpch_engine();
     let ebay = cm_datagen::ebay::ebay(cm_datagen::ebay::EbayConfig {

@@ -124,3 +124,13 @@ fn engine_mixed_smoke() {
     assert!(json.contains("\"id\":\"engine_mixed\""));
     check(r, true);
 }
+
+#[test]
+fn engine_sharded_smoke() {
+    let r = experiments::engine_sharded::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 10, "four shard counts at two mixes + WAL comparison");
+    assert!(r.commentary.contains("group commit"), "{}", r.commentary);
+    let json = r.to_json();
+    assert!(json.contains("\"id\":\"engine_sharded\""));
+    check(r, true);
+}

@@ -1,0 +1,130 @@
+//! Property tests for clustered-key shard routing: for arbitrary data,
+//! shard counts, and predicates, the union of rows returned across
+//! shards equals a brute-force oracle over the input rows (sharding may
+//! reroute work, never change answers), and point queries on the
+//! clustered attribute touch exactly one shard.
+
+use cm_engine::{Engine, EngineConfig};
+use cm_query::{Pred, Query};
+use cm_storage::{Column, Row, Schema, Value, ValueType};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        Column::new("k", ValueType::Int),
+        Column::new("v", ValueType::Int),
+    ]))
+}
+
+/// Rows with clustered keys drawn from a small domain (so shard splits
+/// land between ties) and a correlated second attribute.
+fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..60, 0i64..40), 1..800)
+        .prop_map(|v| v.into_iter().map(|(k, noise)| (k, k * 10 + noise)).collect())
+}
+
+fn build_engine(shards: usize, data: &[(i64, i64)]) -> Arc<Engine> {
+    let engine = Engine::new(EngineConfig { shards, ..EngineConfig::default() });
+    engine.create_table("t", schema(), 0, 8, 16).unwrap();
+    let rows: Vec<Row> = data
+        .iter()
+        .map(|&(k, v)| vec![Value::Int(k), Value::Int(v)])
+        .collect();
+    engine.load("t", rows).unwrap();
+    engine
+}
+
+/// Brute-force oracle: filter the input rows directly.
+fn oracle(data: &[(i64, i64)], q: &Query) -> Vec<Row> {
+    let mut out: Vec<Row> = data
+        .iter()
+        .map(|&(k, v)| vec![Value::Int(k), Value::Int(v)])
+        .filter(|r| q.matches(r))
+        .collect();
+    out.sort();
+    out
+}
+
+fn queries(qlo: i64, qspan: i64, point: i64) -> Vec<Query> {
+    vec![
+        Query::single(Pred::eq(0, point)),
+        Query::single(Pred::between(0, qlo, qlo + qspan)),
+        Query::single(Pred::is_in(
+            0,
+            vec![Value::Int(point), Value::Int(qlo), Value::Int(qlo + qspan)],
+        )),
+        Query::single(Pred::between(1, qlo * 10, (qlo + qspan) * 10)),
+        Query::new(vec![Pred::between(0, qlo, qlo + qspan), Pred::eq(1, point * 10)]),
+        Query::new(vec![Pred::between(0, qlo, qlo + qspan), Pred::eq(0, point)]),
+        Query::default(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_union_equals_oracle(
+        data in rows_strategy(),
+        shards in 1usize..6,
+        qlo in 0i64..60,
+        qspan in 0i64..25,
+        point in 0i64..60,
+    ) {
+        let engine = build_engine(shards, &data);
+        for q in queries(qlo, qspan, point) {
+            let out = engine.execute_collect("t", &q).unwrap();
+            let mut got = out.rows.unwrap();
+            got.sort();
+            let want = oracle(&data, &q);
+            assert_eq!(got, want, "shards={shards} q={q:?}");
+            assert_eq!(out.run.matched as usize, want.len());
+        }
+    }
+
+    #[test]
+    fn point_queries_touch_exactly_one_shard(
+        data in rows_strategy(),
+        shards in 2usize..6,
+        point in 0i64..60,
+    ) {
+        let engine = build_engine(shards, &data);
+        let q = Query::single(Pred::eq(0, point));
+        let routed = engine.route_shards("t", &q).unwrap();
+        assert_eq!(routed.len(), 1, "point routing is single-shard");
+        let before = engine.shard_io();
+        let out = engine.execute("t", &q).unwrap();
+        assert_eq!(out.shards, routed, "execution visited the routed shard");
+        let after = engine.shard_io();
+        for (i, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+            if i == routed[0] {
+                assert!(a.pages() > b.pages(), "owning shard did the I/O");
+            } else {
+                assert_eq!(a.pages(), b.pages(), "shard {i} untouched");
+            }
+        }
+        // Every row with that key lives on the routed shard.
+        let expected = data.iter().filter(|&&(k, _)| k == point).count() as u64;
+        assert_eq!(out.run.matched, expected);
+    }
+
+    #[test]
+    fn inserts_route_to_the_queried_shard(
+        data in rows_strategy(),
+        shards in 2usize..6,
+        key in 0i64..60,
+    ) {
+        let engine = build_engine(shards, &data);
+        let rid = engine.insert("t", vec![Value::Int(key), Value::Int(-1)]).unwrap();
+        engine.commit();
+        let q = Query::single(Pred::eq(0, key));
+        let routed = engine.route_shards("t", &q).unwrap();
+        assert_eq!(rid.shard_index(), routed[0], "insert lands where reads look");
+        let out = engine.execute_collect("t", &q).unwrap();
+        assert!(
+            out.rows.unwrap().contains(&vec![Value::Int(key), Value::Int(-1)]),
+            "inserted row visible via point routing"
+        );
+    }
+}
