@@ -128,6 +128,10 @@ fn row_cells(r: &WorkloadReport) -> Vec<String> {
         format!("{:.1}", r.ops_per_sim_sec),
         ms(r.io.elapsed_ms),
         format!(
+            "{:.1}/{:.1}/{:.1}",
+            r.read_latency.p50_ms, r.read_latency.p95_ms, r.read_latency.p99_ms
+        ),
+        format!(
             "cm:{} sorted:{} pipe:{} scan:{}",
             r.routes.cm_scan,
             r.routes.secondary_sorted,
@@ -162,6 +166,7 @@ pub fn run(scale: BenchScale) -> Report {
             "ops/s (wall)",
             "ops/s (simulated)",
             "simulated I/O",
+            "read p50/p95/p99 (ms)",
             "routing",
         ],
     );
@@ -173,6 +178,11 @@ pub fn run(scale: BenchScale) -> Report {
     let (ratio_read_heavy, cm_report) = run_mix(&mut report, &mut data, scale, "90/10", 0.9);
     let (ratio_write_heavy, _) = run_mix(&mut report, &mut data, scale, "10/90", 0.1);
 
+    report.latency = Some(crate::report::LatencySummary {
+        p50_ms: cm_report.read_latency.p50_ms,
+        p95_ms: cm_report.read_latency.p95_ms,
+        p99_ms: cm_report.read_latency.p99_ms,
+    });
     report.commentary = format!(
         "simulated-throughput ratio CM/B+Tree: {ratio_read_heavy:.1}x at 90/10, \
          {ratio_write_heavy:.1}x at 10/90 — heavier write traffic moves the advantage \

@@ -92,6 +92,10 @@ fn row_cells(r: &WorkloadReport) -> Vec<String> {
         format!("{:.1}", r.ops_per_sim_sec),
         format!("{:.1}", r.ops_per_sim_sec_parallel),
         ms(r.sim_makespan_ms),
+        format!(
+            "{:.1}/{:.1}/{:.1}",
+            r.read_latency.p50_ms, r.read_latency.p95_ms, r.read_latency.p99_ms
+        ),
         busy.to_string(),
         format!("{}/{}", r.wal.flushes, r.wal.commit_requests),
         format!(
@@ -126,6 +130,7 @@ pub fn run(scale: BenchScale) -> Report {
             "ops/s (sim, serial)",
             "ops/s (sim, parallel)",
             "makespan",
+            "read p50/p95/p99 (ms)",
             "busy shards",
             "wal flushes/commits",
             "wal pages per write",
@@ -135,19 +140,28 @@ pub fn run(scale: BenchScale) -> Report {
     let mut data = ebay(cfg);
 
     // ---- shard-count sweep at two read/write mixes --------------------
-    let mut par_at = |label: &str, read_fraction: f64| -> Vec<(usize, f64)> {
+    let mut headline = None;
+    let mut par_at = |report: &mut Report, label: &str, read_fraction: f64| -> Vec<(usize, f64)> {
         let wl = workload(&mut data, scale, read_fraction);
         let mut out = Vec::new();
         for &shards in &SHARD_COUNTS {
             let engine = build_engine(&data, shards, GroupCommitConfig::default());
             let r = run_mixed(&engine, &wl).expect("workload runs");
+            if shards == 4 && read_fraction > 0.5 {
+                headline = Some(crate::report::LatencySummary {
+                    p50_ms: r.read_latency.p50_ms,
+                    p95_ms: r.read_latency.p95_ms,
+                    p99_ms: r.read_latency.p99_ms,
+                });
+            }
             report.push(format!("{shards} shard(s) {label}"), row_cells(&r));
             out.push((shards, r.ops_per_sim_sec_parallel));
         }
         out
     };
-    let read_heavy = par_at("90/10", 0.9);
-    let write_heavy = par_at("10/90", 0.1);
+    let read_heavy = par_at(&mut report, "90/10", 0.9);
+    let write_heavy = par_at(&mut report, "10/90", 0.1);
+    report.latency = headline;
 
     // ---- group commit vs per-commit flushing at 4 shards, 10/90 -------
     let wl = workload(&mut data, scale, 0.1);

@@ -6,6 +6,7 @@
 pub mod ablation_equidepth;
 pub mod engine_mixed;
 pub mod engine_sharded;
+pub mod fanout_latency;
 pub mod fig1_access_patterns;
 pub mod fig2_sdss_clusterings;
 pub mod fig3_shipdate_lookups;
@@ -40,5 +41,6 @@ pub fn run_all(scale: BenchScale) -> Vec<Report> {
         ablation_equidepth::run(scale),
         engine_mixed::run(scale),
         engine_sharded::run(scale),
+        fanout_latency::run(scale),
     ]
 }

@@ -17,4 +17,4 @@ pub mod datasets;
 pub mod experiments;
 pub mod report;
 
-pub use report::{Report, Row};
+pub use report::{LatencySummary, Report, Row};

@@ -17,6 +17,19 @@ impl Row {
     }
 }
 
+/// Headline per-query latency percentiles for experiments that measure
+/// latency distributions (populated from the workload driver's
+/// full-sample percentiles).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median per-query latency (simulated ms).
+    pub p50_ms: f64,
+    /// 95th percentile (simulated ms).
+    pub p95_ms: f64,
+    /// 99th percentile (simulated ms).
+    pub p99_ms: f64,
+}
+
 /// A reproduced table/figure.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -36,6 +49,10 @@ pub struct Report {
     /// Optional free-form preformatted block (e.g. Figure 1's access
     /// strips, Table 4/5 listings).
     pub preformatted: Option<String>,
+    /// Optional headline latency percentiles (experiments that measure
+    /// per-query latency set this; throughput-only reports leave it
+    /// `None`).
+    pub latency: Option<LatencySummary>,
 }
 
 impl Report {
@@ -54,6 +71,7 @@ impl Report {
             columns: columns.into_iter().map(String::from).collect(),
             rows: Vec::new(),
             preformatted: None,
+            latency: None,
         }
     }
 
@@ -68,6 +86,14 @@ impl Report {
         out.push_str(&format!("paper: {}\n", self.paper_expectation));
         if !self.commentary.is_empty() {
             out.push_str(&format!("measured: {}\n", self.commentary));
+        }
+        if let Some(l) = &self.latency {
+            out.push_str(&format!(
+                "latency: p50 {} / p95 {} / p99 {}\n",
+                ms(l.p50_ms),
+                ms(l.p95_ms),
+                ms(l.p99_ms)
+            ));
         }
         out.push('\n');
         if let Some(pre) = &self.preformatted {
@@ -86,6 +112,14 @@ impl Report {
         out.push_str(&format!("**Paper:** {}\n\n", self.paper_expectation));
         if !self.commentary.is_empty() {
             out.push_str(&format!("**Measured:** {}\n\n", self.commentary));
+        }
+        if let Some(l) = &self.latency {
+            out.push_str(&format!(
+                "**Latency:** p50 {} / p95 {} / p99 {}\n\n",
+                ms(l.p50_ms),
+                ms(l.p95_ms),
+                ms(l.p99_ms)
+            ));
         }
         if let Some(pre) = &self.preformatted {
             out.push_str("```text\n");
@@ -139,15 +173,23 @@ impl Report {
                 arr(r.cells.iter().map(|c| format!("\"{}\"", esc(c))))
             )
         }));
+        let latency = match &self.latency {
+            Some(l) => format!(
+                ",\"latency\":{{\"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3}}}",
+                l.p50_ms, l.p95_ms, l.p99_ms
+            ),
+            None => String::new(),
+        };
         format!(
             "{{\"id\":\"{}\",\"title\":\"{}\",\"paper\":\"{}\",\"measured\":\"{}\",\
-             \"columns\":{},\"rows\":{}}}",
+             \"columns\":{},\"rows\":{}{}}}",
             esc(&self.id),
             esc(&self.title),
             esc(&self.paper_expectation),
             esc(&self.commentary),
             arr(self.columns.iter().map(|c| format!("\"{}\"", esc(c)))),
-            rows
+            rows,
+            latency
         )
     }
 
@@ -251,6 +293,24 @@ mod tests {
         assert!(j.contains("{\"label\":\"2\",\"cells\":[\"11.0\",\"21.0\"]}"));
         assert!(j.contains("has \\\"quotes\\\" and\\nnewlines"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn latency_summary_rendered_everywhere() {
+        let mut r = sample();
+        r.latency = Some(LatencySummary { p50_ms: 12.5, p95_ms: 40.0, p99_ms: 55.25 });
+        let t = r.to_text();
+        assert!(t.contains("latency: p50 12.5 ms / p95 40.0 ms / p99 55.2 ms"), "{t}");
+        let md = r.to_markdown();
+        assert!(md.contains("**Latency:**"), "{md}");
+        let j = r.to_json();
+        assert!(
+            j.contains("\"latency\":{\"p50_ms\":12.500,\"p95_ms\":40.000,\"p99_ms\":55.250}"),
+            "{j}"
+        );
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // Throughput-only reports stay latency-free.
+        assert!(!sample().to_json().contains("latency"));
     }
 
     #[test]

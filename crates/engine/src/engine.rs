@@ -10,14 +10,25 @@
 //! intersected with its ownership range. Log records go to one engine
 //! WAL on a dedicated log disk, flushed through leader-elected group
 //! commit ([`GroupCommitWal`]).
+//!
+//! Query execution is a two-phase pipeline: a **plan phase** snapshots
+//! the routing and per-shard cost decisions into a
+//! [`cm_query::QueryPlan`] (one [`cm_query::ShardLeg`] per overlapping
+//! shard, carrying the shard-restricted predicate and that shard's
+//! chosen access path), and an **execute phase** runs the legs on the
+//! engine's shared [`Executor`] worker pool — each leg against its own
+//! shard backend — merging rows and per-leg timings deterministically in
+//! shard order.
 
 use crate::error::EngineError;
+use crate::executor::{scheduled_makespan, Executor};
 use crate::session::Session;
 use crate::shard::{partition_rows, RangeRouter};
 use crate::Result;
 use cm_core::CmSpec;
 use cm_query::{
-    restrict_to_shard, AccessPath, ExecContext, PlanChoice, Planner, Query, RunResult, Table,
+    restrict_to_shard, AccessPath, ExecContext, PlanChoice, Planner, Query, QueryPlan,
+    RunResult, ShardLeg, Table,
 };
 use cm_storage::{
     aggregate_io, aggregate_pool, makespan_ms, BufferPool, DiskConfig, DiskSim,
@@ -40,6 +51,11 @@ pub struct EngineConfig {
     pub pool_pages: usize,
     /// Number of storage shards tables are range-partitioned across.
     pub shards: usize,
+    /// Executor worker threads for intra-query shard fan-out: a
+    /// multi-shard query's legs run on up to this many threads (1 =
+    /// strictly sequential, the default — single-shard and single-worker
+    /// engines never pay a spawn).
+    pub workers: usize,
     /// WAL group-commit batching knobs.
     pub group_commit: GroupCommitConfig,
 }
@@ -50,6 +66,7 @@ impl Default for EngineConfig {
             disk: DiskConfig::default(),
             pool_pages: 1024,
             shards: 1,
+            workers: 1,
             group_commit: GroupCommitConfig::default(),
         }
     }
@@ -135,19 +152,42 @@ pub struct EngineStats {
     pub total_rows: u64,
 }
 
+/// One executed leg of a query: the shard it ran on, the path chosen
+/// for that shard, and what it measured there.
+#[derive(Debug, Clone)]
+pub struct LegOutcome {
+    /// The shard the leg executed on.
+    pub shard: usize,
+    /// The planner's decision for this shard (per-shard statistics can
+    /// send different shards down different paths). For forced-path runs
+    /// the chosen path is the forced one.
+    pub choice: PlanChoice,
+    /// Measured (simulated) execution of this leg alone, charged to its
+    /// shard's disk.
+    pub run: RunResult,
+}
+
 /// Outcome of one query execution through the engine.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
-    /// The planner's decision on the first shard the query executed on
-    /// (estimates for every candidate path there). For forced-path runs
-    /// the chosen path is the forced one.
+    /// The first leg's planner decision — the single-shard summary (for
+    /// a point query this is *the* plan). Multi-shard consumers should
+    /// read [`QueryOutcome::legs`] for every shard's choice.
     pub plan: PlanChoice,
     /// Measured (simulated) execution, summed across the shards the
-    /// query fanned out to.
+    /// query fanned out to — the *serial* time, as if the legs shared
+    /// one thread and one spindle.
     pub run: RunResult,
+    /// Per-leg choices and timings, ascending by shard.
+    pub legs: Vec<LegOutcome>,
+    /// Simulated wall-clock of the fan-out: the legs' times list-scheduled
+    /// onto the engine's worker count (equals `run.ms()` on a 1-worker
+    /// engine, the longest leg when workers cover every shard).
+    pub parallel_ms: f64,
     /// The shard ids the query executed on, ascending.
     pub shards: Vec<usize>,
-    /// Matching rows, if collection was requested.
+    /// Matching rows, if collection was requested (merged in shard
+    /// order, so results are deterministic however the legs ran).
     pub rows: Option<Vec<Row>>,
 }
 
@@ -178,6 +218,7 @@ pub struct Engine {
     log_disk: Arc<DiskSim>,
     wal: GroupCommitWal,
     planner: Planner,
+    executor: Executor,
     catalog: RwLock<HashMap<String, Arc<TableEntry>>>,
     queries: AtomicU64,
     inserts: AtomicU64,
@@ -208,6 +249,7 @@ impl Engine {
             log_disk,
             wal,
             planner,
+            executor: Executor::new(config.workers),
             catalog: RwLock::new(HashMap::new()),
             queries: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -222,6 +264,11 @@ impl Engine {
     /// Number of storage shards.
     pub fn num_shards(&self) -> usize {
         self.backends.len()
+    }
+
+    /// Number of executor workers multi-shard query legs fan out over.
+    pub fn num_workers(&self) -> usize {
+        self.executor.workers()
     }
 
     /// The shard storage backends (disk + pool pairs).
@@ -334,6 +381,11 @@ impl Engine {
         }
         let (chunks, splits) = partition_rows(rows, entry.clustered_col, self.backends.len());
         let router = RangeRouter::new(entry.clustered_col, splits);
+        debug_assert_eq!(
+            router.num_shards(),
+            chunks.len(),
+            "router addresses exactly the partitions built"
+        );
         let mut parts = Vec::with_capacity(chunks.len());
         let mut total = 0u64;
         for (i, chunk) in chunks.into_iter().enumerate() {
@@ -576,20 +628,15 @@ impl Engine {
         self.execute_inner(table, q, Some(path), true, false)
     }
 
-    /// The planner's decision for a query, without executing it (the
-    /// choice on the first shard the query would touch).
-    pub fn explain(&self, table: &str, q: &Query) -> Result<PlanChoice> {
+    /// The planner's decisions for a query, without executing it: one
+    /// leg per shard the query would touch, each carrying that shard's
+    /// restricted predicate and chosen access path. Use
+    /// [`cm_query::QueryPlan::primary`] for the first leg's choice.
+    pub fn explain(&self, table: &str, q: &Query) -> Result<QueryPlan> {
         let entry = self.entry(table)?;
         let loaded = entry.loaded.read();
         let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
-        for i in lt.router.shards_for(q) {
-            let Some(sub) = restrict_to_shard(q, lt.router.col(), &lt.router.range_of(i))
-            else {
-                continue;
-            };
-            return Ok(self.planner.choose(&lt.parts[i].read(), &sub));
-        }
-        Ok(empty_plan())
+        Ok(self.plan_query(lt, q, None))
     }
 
     /// The shard ids a query fans out to (routing diagnostics).
@@ -598,6 +645,70 @@ impl Engine {
         let loaded = entry.loaded.read();
         let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
         Ok(lt.router.shards_for(q))
+    }
+
+    /// **Plan phase**: snapshot routing and per-shard cost decisions
+    /// into a [`QueryPlan`]. Each overlapping shard contributes one leg
+    /// with the query intersected with the shard's ownership range (so
+    /// CM lookups, planner estimates, and index probes on that shard see
+    /// only the in-range slice) and the access path the cost model
+    /// picked against the shard's own statistics. A forced path
+    /// overrides every leg's choice; a forced path the planner didn't
+    /// cost (no statistics, or no predicate on the index's leading
+    /// column) keeps a NaN estimate instead of borrowing the cheapest
+    /// path's number.
+    fn plan_query(&self, lt: &LoadedTable, q: &Query, forced: Option<AccessPath>) -> QueryPlan {
+        let mut legs = Vec::new();
+        for i in lt.router.shards_for(q) {
+            let Some(sub) = restrict_to_shard(q, lt.router.col(), &lt.router.range_of(i))
+            else {
+                continue;
+            };
+            let mut choice = self.planner.choose(&lt.parts[i].read(), &sub);
+            if let Some(p) = forced {
+                choice.est_ms = choice
+                    .alternatives
+                    .iter()
+                    .find(|(alt, _)| *alt == p)
+                    .map(|(_, est)| *est)
+                    .unwrap_or(f64::NAN);
+                choice.path = p;
+            }
+            legs.push(ShardLeg { shard: i, query: sub, choice });
+        }
+        QueryPlan::new(legs)
+    }
+
+    /// **Execute phase**, one leg: run the planned path against the
+    /// leg's shard backend with its own [`ExecContext`], buffering any
+    /// collected rows per leg (merged by the caller in shard order).
+    fn run_leg(&self, lt: &LoadedTable, leg: &ShardLeg, collect: bool, cold: bool) -> (RunResult, Vec<Row>) {
+        let part = lt.parts[leg.shard].read();
+        let t = &*part;
+        let backend = &self.backends[leg.shard];
+        let ctx = if cold {
+            ExecContext::cold(backend.disk())
+        } else {
+            ExecContext::through(backend.disk(), backend.pool())
+        };
+        let mut rows: Vec<Row> = Vec::new();
+        let mut visit = |row: &[cm_storage::Value]| {
+            if collect {
+                rows.push(row.to_vec());
+            }
+        };
+        let q = &leg.query;
+        let r = match leg.choice.path {
+            AccessPath::FullScan => t.exec_full_scan_visit(&ctx, q, &mut visit),
+            AccessPath::SecondarySorted(id) => {
+                t.exec_secondary_sorted_visit(&ctx, id, q, &mut visit)
+            }
+            AccessPath::SecondaryPipelined(id) => {
+                t.exec_secondary_pipelined_visit(&ctx, id, q, &mut visit)
+            }
+            AccessPath::CmScan(id) => t.exec_cm_scan_visit(&ctx, id, q, &mut visit),
+        };
+        (r, rows)
     }
 
     pub(crate) fn execute_inner(
@@ -612,86 +723,66 @@ impl Engine {
         let loaded = entry.loaded.read();
         let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
 
-        let mut plan: Option<PlanChoice> = None;
+        // Plan phase: routing + per-shard path choices, snapshotted.
+        let plan = self.plan_query(lt, q, forced);
+
+        // Execute phase: single-leg (or single-worker) plans run inline;
+        // multi-leg plans fan out on the shared worker pool, each leg on
+        // its own shard backend. Results come back in leg (shard) order
+        // either way, so merging is deterministic.
+        let leg_runs: Vec<(RunResult, Vec<Row>)> =
+            if plan.legs.len() <= 1 || self.executor.workers() == 1 {
+                plan.legs.iter().map(|leg| self.run_leg(lt, leg, collect, cold)).collect()
+            } else {
+                self.executor.run(
+                    plan.legs
+                        .iter()
+                        .map(|leg| move || self.run_leg(lt, leg, collect, cold))
+                        .collect(),
+                )
+            };
+
         let mut run = RunResult { matched: 0, examined: 0, io: IoStats::default() };
         let mut rows: Vec<Row> = Vec::new();
-        let mut visited: Vec<usize> = Vec::new();
-
-        for i in lt.router.shards_for(q) {
-            // Intersect the clustered-column predicate with the shard's
-            // ownership range: CM lookups, planner estimates, and index
-            // probes on this shard see only the in-range slice.
-            let Some(sub) = restrict_to_shard(q, lt.router.col(), &lt.router.range_of(i))
-            else {
-                continue;
-            };
-            let part = lt.parts[i].read();
-            let t = &*part;
-            let mut choice = self.planner.choose(t, &sub);
-            let path = match forced {
-                Some(p) => {
-                    choice.path = p;
-                    // A forced path the planner didn't cost (no
-                    // statistics, or no predicate on the index's leading
-                    // column) has no estimate; NaN keeps that visible
-                    // instead of borrowing the cheapest path's number.
-                    choice.est_ms = choice
-                        .alternatives
-                        .iter()
-                        .find(|(alt, _)| *alt == p)
-                        .map(|(_, est)| *est)
-                        .unwrap_or(f64::NAN);
-                    p
-                }
-                None => choice.path,
-            };
-            let backend = &self.backends[i];
-            let ctx = if cold {
-                ExecContext::cold(backend.disk())
-            } else {
-                ExecContext::through(backend.disk(), backend.pool())
-            };
-            let r = {
-                let mut visit = |row: &[cm_storage::Value]| {
-                    if collect {
-                        rows.push(row.to_vec());
-                    }
-                };
-                match path {
-                    AccessPath::FullScan => t.exec_full_scan_visit(&ctx, &sub, &mut visit),
-                    AccessPath::SecondarySorted(id) => {
-                        t.exec_secondary_sorted_visit(&ctx, id, &sub, &mut visit)
-                    }
-                    AccessPath::SecondaryPipelined(id) => {
-                        t.exec_secondary_pipelined_visit(&ctx, id, &sub, &mut visit)
-                    }
-                    AccessPath::CmScan(id) => t.exec_cm_scan_visit(&ctx, id, &sub, &mut visit),
-                }
-            };
+        let mut legs: Vec<LegOutcome> = Vec::with_capacity(plan.legs.len());
+        let mut leg_ms: Vec<f64> = Vec::with_capacity(plan.legs.len());
+        for (leg, (r, leg_rows)) in plan.legs.into_iter().zip(leg_runs) {
             run.matched += r.matched;
             run.examined += r.examined;
             run.io.add(&r.io);
-            visited.push(i);
-            if plan.is_none() {
-                plan = Some(choice);
+            leg_ms.push(r.io.elapsed_ms);
+            rows.extend(leg_rows);
+            if forced.is_none() {
+                // Every leg is a routing decision of its own: per-shard
+                // statistics can pick different paths per shard, and an
+                // under-counted multi-shard query would skew the route
+                // tallies.
+                self.note_route(leg.choice.path);
             }
+            legs.push(LegOutcome { shard: leg.shard, choice: leg.choice, run: r });
         }
+        let parallel_ms = scheduled_makespan(&leg_ms, self.executor.workers());
 
-        let plan = plan.unwrap_or_else(|| {
+        let plan_summary = legs.first().map(|l| l.choice.clone()).unwrap_or_else(|| {
             // Every shard was pruned (e.g. an inverted range): report the
             // forced path or a zero-cost scan, with no alternatives.
-            let mut p = empty_plan();
+            let mut p = PlanChoice::empty();
             if let Some(f) = forced {
                 p.path = f;
                 p.est_ms = f64::NAN;
             }
             p
         });
-        if forced.is_none() {
-            self.note_route(plan.path);
-        }
         self.queries.fetch_add(1, Ordering::Relaxed);
-        Ok(QueryOutcome { plan, run, shards: visited, rows: collect.then_some(rows) })
+        let shards = legs.iter().map(|l| l.shard).collect();
+        Ok(QueryOutcome {
+            plan: plan_summary,
+            run,
+            legs,
+            parallel_ms,
+            shards,
+            rows: collect.then_some(rows),
+        })
     }
 
     // ---- writes -------------------------------------------------------
@@ -707,7 +798,7 @@ impl Engine {
         entry.schema.validate(&row).map_err(EngineError::Storage)?;
         let loaded = entry.loaded.read();
         let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
-        let shard = lt.router.shard_of_row(&row).min(lt.parts.len() - 1);
+        let shard = lt.router.shard_of_row(&row);
         // Gather the WAL records into a detached batch while holding
         // only the shard lock, then replay them onto the shared log in
         // one short critical section — writers on different shards do
@@ -742,41 +833,86 @@ impl Engine {
         Ok(row)
     }
 
+    /// DELETE every row matching `q` on one shard (scan under the shard
+    /// write lock, WAL records gathered into a detached batch): the
+    /// per-shard leg of [`Engine::delete_where`].
+    fn delete_where_leg(
+        &self,
+        lt: &LoadedTable,
+        shard: usize,
+        sub: &Query,
+    ) -> Result<(Vec<Rid>, WalBatch)> {
+        let mut batch = WalBatch::new();
+        let mut tagged: Vec<Rid> = Vec::new();
+        let mut t = lt.parts[shard].write();
+        let pool = self.backends[shard].pool();
+        let mut local: Vec<Rid> = Vec::new();
+        for page in 0..t.heap().num_pages() {
+            let (start, _) = t.heap().page_rid_range(page);
+            let page_rows = t.heap().read_page(pool, page)?;
+            for (j, row) in page_rows.iter().enumerate() {
+                if sub.matches(row) {
+                    local.push(Rid(start.0 + j as u64));
+                }
+            }
+        }
+        for &rid in &local {
+            t.delete_row(pool, Some(&mut batch), rid)?;
+            tagged.push(Rid::sharded(shard, rid));
+        }
+        Ok((tagged, batch))
+    }
+
     /// DELETE every row matching `q` (found by a charged scan of the
-    /// overlapping shards); returns the victims' shard-tagged RIDs.
+    /// overlapping shards); returns the victims' shard-tagged RIDs, in
+    /// shard order. Like reads, the per-shard legs fan out on the worker
+    /// pool — each leg holds only its own shard's write lock, so a
+    /// multi-shard purge doesn't serialize the scans.
     pub fn delete_where(&self, table: &str, q: &Query) -> Result<Vec<Rid>> {
         let entry = self.entry(table)?;
         let loaded = entry.loaded.read();
         let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
-        let mut victims: Vec<Rid> = Vec::new();
-        for i in lt.router.shards_for(q) {
-            let Some(sub) = restrict_to_shard(q, lt.router.col(), &lt.router.range_of(i))
-            else {
-                continue;
+        let legs: Vec<(usize, Query)> = lt
+            .router
+            .shards_for(q)
+            .into_iter()
+            .filter_map(|i| {
+                restrict_to_shard(q, lt.router.col(), &lt.router.range_of(i))
+                    .map(|sub| (i, sub))
+            })
+            .collect();
+        let results: Vec<Result<(Vec<Rid>, WalBatch)>> =
+            if legs.len() <= 1 || self.executor.workers() == 1 {
+                legs.iter().map(|(i, sub)| self.delete_where_leg(lt, *i, sub)).collect()
+            } else {
+                self.executor.run(
+                    legs.iter()
+                        .map(|(i, sub)| move || self.delete_where_leg(lt, *i, sub))
+                        .collect(),
+                )
             };
-            let mut batch = WalBatch::new();
-            {
-                let mut t = lt.parts[i].write();
-                let pool = self.backends[i].pool();
-                let mut local: Vec<Rid> = Vec::new();
-                for page in 0..t.heap().num_pages() {
-                    let (start, _) = t.heap().page_rid_range(page);
-                    let page_rows = t.heap().read_page(pool, page)?;
-                    for (j, row) in page_rows.iter().enumerate() {
-                        if sub.matches(row) {
-                            local.push(Rid(start.0 + j as u64));
-                        }
-                    }
+        // Merge in shard order. Legs that succeeded have already mutated
+        // their shard, so their WAL batches, counters, and victim RIDs
+        // are recorded even when another leg failed — only then is the
+        // first error surfaced.
+        let mut victims: Vec<Rid> = Vec::new();
+        let mut first_err: Option<EngineError> = None;
+        for res in results {
+            match res {
+                Ok((tagged, batch)) => {
+                    self.wal.append_batch(&batch);
+                    self.deletes.fetch_add(tagged.len() as u64, Ordering::Relaxed);
+                    victims.extend(tagged);
                 }
-                for &rid in &local {
-                    t.delete_row(pool, Some(&mut batch), rid)?;
-                    self.deletes.fetch_add(1, Ordering::Relaxed);
-                    victims.push(Rid::sharded(i, rid));
+                Err(e) => {
+                    first_err.get_or_insert(e);
                 }
             }
-            self.wal.append_batch(&batch);
         }
-        Ok(victims)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(victims),
+        }
     }
 
     /// Make every appended WAL record durable (group commit point);
@@ -851,11 +987,6 @@ impl Engine {
             .cloned()
             .ok_or_else(|| EngineError::UnknownTable(table.to_string()))
     }
-}
-
-/// A plan for a query that touched no shard at all.
-fn empty_plan() -> PlanChoice {
-    PlanChoice { path: AccessPath::FullScan, est_ms: 0.0, alternatives: Vec::new() }
 }
 
 // The engine must be shareable across session threads.
@@ -1045,8 +1176,24 @@ mod tests {
         let q = Query::single(Pred::eq(1, 1234i64));
         let plan = engine.explain("items", &q).unwrap();
         let out = engine.execute("items", &q).unwrap();
-        assert_eq!(plan.path, out.plan.path);
-        assert!(plan.alternatives.len() >= 3);
+        assert_eq!(plan.primary().path, out.plan.path);
+        assert!(plan.primary().alternatives.len() >= 3);
+    }
+
+    #[test]
+    fn explain_reports_every_leg() {
+        let engine = sharded_engine(4);
+        // Unpredicated on the clustered column: one leg per shard.
+        let plan = engine.explain("items", &Query::single(Pred::eq(1, 4217i64))).unwrap();
+        assert_eq!(plan.shards(), vec![0, 1, 2, 3]);
+        // A point query plans a single leg on the owning shard.
+        let plan = engine.explain("items", &Query::single(Pred::eq(0, 42i64))).unwrap();
+        assert_eq!(plan.legs.len(), 1);
+        // An unsatisfiable range plans no legs and summarises as a
+        // zero-cost scan.
+        let plan = engine.explain("items", &Query::single(Pred::between(0, 9i64, 2i64))).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.primary().est_ms, 0.0);
     }
 
     #[test]
@@ -1063,6 +1210,120 @@ mod tests {
 
     fn sharded_engine(shards: usize) -> Arc<Engine> {
         demo_engine_with(EngineConfig { shards, ..EngineConfig::default() })
+    }
+
+    fn parallel_engine(shards: usize, workers: usize) -> Arc<Engine> {
+        demo_engine_with(EngineConfig { shards, workers, ..EngineConfig::default() })
+    }
+
+    // ---- parallel fan-out --------------------------------------------
+
+    #[test]
+    fn parallel_fanout_matches_sequential_results() {
+        let par = parallel_engine(4, 4);
+        let seq = sharded_engine(4);
+        let queries = [
+            Query::single(Pred::eq(0, 13i64)),
+            Query::single(Pred::between(0, 10i64, 60i64)),
+            Query::single(Pred::eq(1, 4217i64)),
+            Query::default(),
+        ];
+        for q in &queries {
+            let a = par.execute_collect("items", q).unwrap();
+            let b = seq.execute_collect("items", q).unwrap();
+            let mut ra = a.rows.unwrap();
+            let mut rb = b.rows.unwrap();
+            ra.sort();
+            rb.sort();
+            assert_eq!(ra, rb, "{q:?}");
+            assert_eq!(a.run.matched, b.run.matched);
+            assert_eq!(a.shards, b.shards);
+        }
+    }
+
+    #[test]
+    fn parallel_rows_merge_in_shard_order() {
+        // Full-table collection must come back shard 0 rows first,
+        // whatever order the worker threads finished in.
+        let par = parallel_engine(4, 4);
+        let out = par.execute_collect("items", &Query::default()).unwrap();
+        let rows = out.rows.unwrap();
+        let keys: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "clustered partitions concatenate in key order");
+    }
+
+    #[test]
+    fn parallel_ms_reports_fanout_makespan() {
+        let par = parallel_engine(4, 4);
+        let out = par.execute("items", &Query::default()).unwrap();
+        assert_eq!(out.legs.len(), 4);
+        let longest = out.legs.iter().map(|l| l.run.ms()).fold(0.0, f64::max);
+        assert!((out.parallel_ms - longest).abs() < 1e-9, "4 workers cover 4 legs");
+        assert!(out.parallel_ms < out.run.ms(), "fan-out beats the serial sum");
+        // Per-leg serial times sum to the run total.
+        let sum: f64 = out.legs.iter().map(|l| l.run.ms()).sum();
+        assert!((sum - out.run.ms()).abs() < 1e-9);
+
+        // A 1-worker engine reports the serial sum for the same query.
+        let seq = sharded_engine(4);
+        let out = seq.execute("items", &Query::default()).unwrap();
+        assert!((out.parallel_ms - out.run.ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn each_leg_counts_as_a_routing_decision() {
+        let engine = sharded_engine(4);
+        engine.execute("items", &Query::single(Pred::eq(1, 4217i64))).unwrap();
+        assert_eq!(engine.route_counts().total(), 4, "one decision per leg");
+        let engine = sharded_engine(4);
+        engine.execute("items", &Query::single(Pred::eq(0, 42i64))).unwrap();
+        assert_eq!(engine.route_counts().total(), 1, "point query: one leg");
+        // A query pruned everywhere makes no routing decision at all.
+        let engine = sharded_engine(4);
+        engine.execute("items", &Query::single(Pred::between(0, 9i64, 2i64))).unwrap();
+        assert_eq!(engine.route_counts().total(), 0);
+        assert_eq!(engine.stats().queries, 1);
+    }
+
+    #[test]
+    fn per_leg_choices_are_surfaced() {
+        let engine = parallel_engine(4, 2);
+        engine.create_cm("items", "price_cm", CmSpec::single_pow2(1, 4)).unwrap();
+        let out = engine.execute("items", &Query::single(Pred::eq(1, 4217i64))).unwrap();
+        assert_eq!(out.legs.len(), 4);
+        assert_eq!(out.plan.path, out.legs[0].choice.path, "summary is the first leg");
+        for leg in &out.legs {
+            assert!(!leg.choice.alternatives.is_empty(), "every leg was costed");
+        }
+    }
+
+    #[test]
+    fn parallel_delete_where_spans_shards() {
+        let engine = parallel_engine(4, 4);
+        let victims = engine
+            .delete_where("items", &Query::single(Pred::between(0, 24i64, 26i64)))
+            .unwrap();
+        assert_eq!(victims.len(), 3 * 50);
+        // Victims come back in shard order.
+        let shards: Vec<usize> = victims.iter().map(|r| r.shard_index()).collect();
+        let mut sorted = shards.clone();
+        sorted.sort_unstable();
+        assert_eq!(shards, sorted);
+        assert_eq!(engine.stats().deletes, 150);
+        let rest = engine
+            .execute("items", &Query::single(Pred::between(0, 0i64, 1_000i64)))
+            .unwrap();
+        assert_eq!(rest.run.matched, 5000 - 150);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_and_visible() {
+        assert_eq!(sharded_engine(2).num_workers(), 1);
+        assert_eq!(parallel_engine(2, 6).num_workers(), 6);
+        let zero = demo_engine_with(EngineConfig { workers: 0, ..EngineConfig::default() });
+        assert_eq!(zero.num_workers(), 1, "0 workers clamps to sequential");
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Shared worker pool for intra-query parallelism.
+//!
+//! A multi-shard query decomposes into independent per-shard legs, each
+//! reading its own [`cm_storage::StorageShard`] (disk + pool). The
+//! [`Executor`] runs a batch of such legs on up to `workers` scoped
+//! threads: tasks are claimed from a shared counter (dynamic load
+//! balancing — a cheap point-lookup leg doesn't hold up a worker while a
+//! wide range leg runs elsewhere), results come back in submission
+//! order, and a panicking task propagates to the caller once every
+//! worker has drained (never a hang, never a silently dropped leg).
+//!
+//! Scoped threads keep the design borrow-friendly: tasks may capture
+//! references to engine state (table partitions behind their locks,
+//! shard backends) without `Arc`-wrapping each leg.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width worker pool. Construction is free of OS resources —
+/// threads are spawned per [`Executor::run`] call inside a scope, so an
+/// idle engine holds no parked threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Executor {
+    /// An executor running at most `workers` tasks concurrently
+    /// (clamped to at least 1; 1 means strictly sequential execution on
+    /// the calling thread).
+    pub fn new(workers: usize) -> Self {
+        Executor { workers: workers.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run every task, returning their results in submission order.
+    ///
+    /// With one worker or one task this degrades to a plain sequential
+    /// loop on the calling thread — no spawn cost for the single-shard /
+    /// single-worker fast path. Otherwise `min(workers, tasks)` scoped
+    /// threads claim tasks from a shared counter until none remain.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the panic is propagated to the caller after all
+    /// workers have joined (via [`std::thread::scope`]'s panic
+    /// propagation); remaining claimed tasks on other workers still run.
+    pub fn run<F, R>(&self, tasks: Vec<F>) -> Vec<R>
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.workers == 1 || n == 1 {
+            return tasks.into_iter().map(|f| f()).collect();
+        }
+        let slots: Vec<Mutex<Option<F>>> =
+            tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let task = slots[i].lock().take().expect("each slot drained once");
+                    let out = task();
+                    *results[i].lock() = Some(out);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("every task ran to completion"))
+            .collect()
+    }
+}
+
+/// The simulated wall-clock of running legs with the given durations on
+/// `workers` parallel spindles/threads: greedy list scheduling in
+/// submission order (each leg goes to the worker that frees up first).
+///
+/// With one worker this is the serial sum — the pre-fan-out latency —
+/// and with `workers >= legs` it is the longest single leg. The engine
+/// reports this alongside the serial sum so a latency benchmark charges
+/// the parallel fan-out honestly: four balanced legs on two workers cost
+/// two legs' time, not one leg's.
+pub fn scheduled_makespan(leg_ms: &[f64], workers: usize) -> f64 {
+    if workers <= 1 {
+        return leg_ms.iter().sum();
+    }
+    let lanes = workers.min(leg_ms.len()).max(1);
+    let mut finish = vec![0.0f64; lanes];
+    for &t in leg_ms {
+        let earliest = finish
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("at least one lane");
+        finish[earliest] += t;
+    }
+    finish.iter().fold(0.0, |a, &b| a.max(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let ex = Executor::new(4);
+        let tasks: Vec<_> = (0..32)
+            .map(|i| {
+                move || {
+                    // Stagger so late submissions often finish first.
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        ((32 - i) % 7) as u64 * 50,
+                    ));
+                    i * 10
+                }
+            })
+            .collect();
+        let got = ex.run(tasks);
+        assert_eq!(got, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_and_single_task_run_inline() {
+        // Sequential fallback: the task observes the calling thread.
+        let caller = std::thread::current().id();
+        let ex = Executor::new(1);
+        let ids = ex.run(vec![|| std::thread::current().id(), || std::thread::current().id()]);
+        assert!(ids.iter().all(|&id| id == caller));
+        let ex = Executor::new(8);
+        let ids = ex.run(vec![|| std::thread::current().id()]);
+        assert_eq!(ids, vec![caller]);
+        let empty: Vec<i32> = ex.run(Vec::<fn() -> i32>::new());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_worker_count() {
+        let live = AtomicU64::new(0);
+        let peak = AtomicU64::new(0);
+        let ex = Executor::new(3);
+        let tasks: Vec<_> = (0..24)
+            .map(|_| {
+                let live = &live;
+                let peak = &peak;
+                move || {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        ex.run(tasks);
+        let p = peak.load(Ordering::SeqCst);
+        assert!((1..=3).contains(&p), "peak concurrency {p} within 1..=3");
+    }
+
+    #[test]
+    fn a_panicking_task_propagates_instead_of_hanging() {
+        let ex = Executor::new(4);
+        let completed = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..8)
+                .map(|i| {
+                    let completed = &completed;
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("leg {i} exploded");
+                        }
+                        completed.fetch_add(1, Ordering::SeqCst)
+                    }) as Box<dyn FnOnce() -> u64 + Send>
+                })
+                .collect();
+            ex.run(tasks)
+        }));
+        assert!(result.is_err(), "the leg's panic reached the caller");
+        // The pool drained rather than deadlocking: the other legs ran.
+        assert_eq!(completed.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn makespan_schedules_greedily() {
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+        // One worker: serial sum.
+        assert!(close(scheduled_makespan(&[3.0, 1.0, 2.0], 1), 6.0));
+        // Enough workers: longest leg.
+        assert!(close(scheduled_makespan(&[3.0, 1.0, 2.0], 8), 3.0));
+        // Two workers, list order: {3}, {1,2} -> 3.
+        assert!(close(scheduled_makespan(&[3.0, 1.0, 2.0], 2), 3.0));
+        // Imbalance shows: {5}, {1,1} -> 5.
+        assert!(close(scheduled_makespan(&[5.0, 1.0, 1.0], 2), 5.0));
+        // Degenerate inputs.
+        assert!(close(scheduled_makespan(&[], 4), 0.0));
+        assert!(close(scheduled_makespan(&[2.5], 4), 2.5));
+    }
+}

@@ -24,6 +24,12 @@
 //!   the shards they overlap, and each shard executes the query
 //!   intersected with its ownership range
 //!   ([`cm_query::restrict_to_shard`]);
+//! * a **two-phase executor** ([`Executor`]): queries split into a plan
+//!   phase (a [`cm_query::QueryPlan`] of per-shard legs, each carrying
+//!   its restricted predicate and cost-chosen access path) and an
+//!   execute phase that fans the legs out on a shared worker pool
+//!   (`EngineConfig::workers`), so a multi-shard query's latency
+//!   approaches its longest leg instead of the per-shard sum;
 //! * **cost-based routing**: every [`Engine::execute`] call consults the
 //!   paper's §3–§6 cost model via [`cm_query::Planner`] and routes the
 //!   query to the cheapest of the four physical access paths (full scan,
@@ -60,15 +66,19 @@
 
 mod engine;
 mod error;
+pub mod executor;
 mod session;
 pub mod shard;
 pub mod workload;
 
-pub use engine::{Engine, EngineConfig, EngineStats, QueryOutcome, RouteCounts, TableInfo};
+pub use engine::{
+    Engine, EngineConfig, EngineStats, LegOutcome, QueryOutcome, RouteCounts, TableInfo,
+};
 pub use error::EngineError;
+pub use executor::{scheduled_makespan, Executor};
 pub use session::{Session, SessionStats};
 pub use shard::{partition_rows, RangeRouter};
-pub use workload::{run_mixed, MixedWorkloadConfig, WorkloadReport};
+pub use workload::{run_mixed, LatencyStats, MixedWorkloadConfig, WorkloadReport};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, EngineError>;

@@ -9,7 +9,7 @@
 use crate::engine::{Engine, QueryOutcome};
 use crate::Result;
 use cm_core::CmSpec;
-use cm_query::{AccessPath, PlanChoice, Query};
+use cm_query::{AccessPath, Query, QueryPlan};
 use cm_storage::{IoStats, Rid, Row};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -86,8 +86,8 @@ impl Session {
         self.count_query(self.engine.execute_inner(table, q, Some(path), true, self.cold_reads))
     }
 
-    /// The planner's decision for a query, without executing it.
-    pub fn explain(&self, table: &str, q: &Query) -> Result<PlanChoice> {
+    /// The planner's per-leg decisions for a query, without executing it.
+    pub fn explain(&self, table: &str, q: &Query) -> Result<QueryPlan> {
         self.engine.explain(table, q)
     }
 

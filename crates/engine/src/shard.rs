@@ -40,12 +40,16 @@ impl RangeRouter {
         self.splits.len() + 1
     }
 
-    /// The shard owning key `v`.
+    /// The shard owning key `v`. Always `< num_shards()`: the partition
+    /// point over the splits is at most `splits.len()`, and the clamp
+    /// pins that invariant here so write paths can index their partition
+    /// vector directly instead of re-clamping at every call site.
     pub fn shard_of_key(&self, v: &Value) -> usize {
-        self.splits.partition_point(|s| s <= v)
+        self.splits.partition_point(|s| s <= v).min(self.num_shards() - 1)
     }
 
-    /// The shard owning `row` (routes by its clustered column).
+    /// The shard owning `row` (routes by its clustered column); like
+    /// [`RangeRouter::shard_of_key`], always a valid partition index.
     pub fn shard_of_row(&self, row: &Row) -> usize {
         self.shard_of_key(&row[self.col])
     }
@@ -209,6 +213,19 @@ mod tests {
         let (chunks, splits) = partition_rows(Vec::new(), 0, 4);
         assert_eq!(chunks.len(), 1);
         assert!(splits.is_empty());
+    }
+
+    #[test]
+    fn shard_of_key_is_always_a_valid_partition_index() {
+        // Keys far beyond the last split (append-heavy tails) and far
+        // below the first both land on real shards — no caller-side
+        // clamp needed.
+        let r = router();
+        assert_eq!(r.shard_of_key(&Value::Int(i64::MAX)), r.num_shards() - 1);
+        assert_eq!(r.shard_of_key(&Value::Int(i64::MIN)), 0);
+        let single = RangeRouter::new(0, Vec::new());
+        assert_eq!(single.num_shards(), 1);
+        assert_eq!(single.shard_of_key(&Value::Int(123)), 0);
     }
 
     #[test]

@@ -39,6 +39,52 @@ pub struct MixedWorkloadConfig {
     pub seed: u64,
 }
 
+/// Per-query latency percentiles over a full sample of simulated
+/// per-query times (nearest-rank percentiles; no reservoir — the driver
+/// keeps every sample, op counts here are small enough).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Samples observed.
+    pub count: u64,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Median (ms).
+    pub p50_ms: f64,
+    /// 95th percentile (ms).
+    pub p95_ms: f64,
+    /// 99th percentile (ms).
+    pub p99_ms: f64,
+    /// Worst sample (ms).
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Summarise a full sample (consumed; sorted internally). Zeros for
+    /// an empty sample.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_by(f64::total_cmp);
+        let count = samples.len() as u64;
+        let mean_ms = samples.iter().sum::<f64>() / count as f64;
+        let pct = |q: f64| -> f64 {
+            // Nearest-rank: the smallest sample with at least q of the
+            // distribution at or below it.
+            let rank = ((q * count as f64).ceil() as usize).clamp(1, samples.len());
+            samples[rank - 1]
+        };
+        LatencyStats {
+            count,
+            mean_ms,
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
+            max_ms: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
 /// What the driver measured.
 #[derive(Debug, Clone)]
 pub struct WorkloadReport {
@@ -62,8 +108,14 @@ pub struct WorkloadReport {
     pub pool: PoolStats,
     /// WAL group-commit deltas during the run.
     pub wal: GroupCommitStats,
-    /// Planner routing decisions during the run.
+    /// Planner routing decisions during the run (one per executed leg,
+    /// so multi-shard queries count once per shard they ran on).
     pub routes: RouteCounts,
+    /// Per-read-query simulated latency percentiles. Each sample is the
+    /// query's fan-out makespan ([`crate::QueryOutcome::parallel_ms`]):
+    /// on a 1-worker engine that is the serial per-shard sum, with
+    /// workers it is the legs list-scheduled over the pool.
+    pub read_latency: LatencyStats,
     /// Wall-clock milliseconds the driver ran for.
     pub wall_ms: f64,
     /// Operations per wall-clock second.
@@ -99,6 +151,8 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
     let reads_done = AtomicU64::new(0);
     let writes_done = AtomicU64::new(0);
     let matched = AtomicU64::new(0);
+    let latencies: parking_lot::Mutex<Vec<f64>> =
+        parking_lot::Mutex::new(Vec::with_capacity(cfg.ops));
     let first_err: parking_lot::Mutex<Option<crate::EngineError>> =
         parking_lot::Mutex::new(None);
 
@@ -111,10 +165,12 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
             let reads_done = &reads_done;
             let writes_done = &writes_done;
             let matched = &matched;
+            let latencies = &latencies;
             let first_err = &first_err;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9E37));
                 let mut since_commit = 0usize;
+                let mut local_lat: Vec<f64> = Vec::new();
                 for _ in 0..ops {
                     let is_read = rng.gen_bool(cfg.read_fraction);
                     let claimed = if is_read {
@@ -138,12 +194,14 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
                             let q = &cfg.reads[rng.gen_range(0..cfg.reads.len())];
                             let r = session.execute(&cfg.table, q).map(|out| {
                                 matched.fetch_add(out.run.matched, Ordering::Relaxed);
+                                local_lat.push(out.parallel_ms);
                             });
                             reads_done.fetch_add(1, Ordering::Relaxed);
                             r
                         }
                     };
                     if let Err(e) = result {
+                        latencies.lock().append(&mut local_lat);
                         first_err.lock().get_or_insert(e);
                         return;
                     }
@@ -151,6 +209,7 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
                 if since_commit > 0 {
                     session.commit();
                 }
+                latencies.lock().append(&mut local_lat);
             });
         }
     });
@@ -174,6 +233,7 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
     let reads = reads_done.load(Ordering::Relaxed);
     let writes = writes_done.load(Ordering::Relaxed);
     let ops = reads + writes;
+    let read_latency = LatencyStats::from_samples(latencies.into_inner());
     Ok(WorkloadReport {
         ops,
         reads,
@@ -185,6 +245,7 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
         pool: engine.pool_totals().since(&pool_before),
         wal: engine.wal_stats().since(&wal_before),
         routes: engine.route_counts().since(&routes_before),
+        read_latency,
         wall_ms,
         ops_per_sec: if wall_ms > 0.0 { ops as f64 / (wall_ms / 1000.0) } else { 0.0 },
         ops_per_sim_sec: if io.elapsed_ms > 0.0 {
@@ -258,8 +319,14 @@ mod tests {
         assert!(report.sim_makespan_ms > 0.0);
         assert!(report.sim_makespan_ms <= report.io.elapsed_ms + 1e-9);
         assert_eq!(report.per_shard_io.len(), 1);
+        // Every read contributed a latency sample.
+        assert_eq!(report.read_latency.count, report.reads);
+        assert!(report.read_latency.p50_ms <= report.read_latency.p95_ms);
+        assert!(report.read_latency.p95_ms <= report.read_latency.p99_ms);
+        assert!(report.read_latency.p99_ms <= report.read_latency.max_ms);
+        assert!(report.read_latency.max_ms > 0.0);
         // Reads were cost-routed (mostly to the CM for these selective
-        // predicates).
+        // predicates; one leg per read on a single-shard engine).
         assert_eq!(report.routes.total(), report.reads);
         assert!(report.routes.cm_scan > 0, "routes: {:?}", report.routes);
         // Writers committed through the group-commit WAL.
@@ -273,6 +340,70 @@ mod tests {
             .execute("items", &Query::single(Pred::between(1, 8000i64, 100_000i64)))
             .unwrap();
         assert_eq!(out.run.matched, report.writes);
+    }
+
+    #[test]
+    fn latency_percentiles_from_samples() {
+        let s = LatencyStats::from_samples((1..=100).map(|i| i as f64).collect());
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        assert_eq!(LatencyStats::from_samples(Vec::new()), LatencyStats::default());
+        let one = LatencyStats::from_samples(vec![7.0]);
+        assert_eq!((one.p50_ms, one.p99_ms, one.count), (7.0, 7.0, 1));
+        // Unsorted input is handled.
+        let s = LatencyStats::from_samples(vec![5.0, 1.0, 3.0]);
+        assert_eq!(s.p50_ms, 3.0);
+        assert_eq!(s.max_ms, 5.0);
+    }
+
+    #[test]
+    fn fanout_workers_cut_read_latency_percentiles() {
+        // Same sharded data, same read-only workload: an engine with
+        // fan-out workers must report lower per-query latency than the
+        // sequential engine, with identical matched counts.
+        let run_with = |workers: usize| {
+            let engine = Engine::new(EngineConfig {
+                shards: 4,
+                workers,
+                ..EngineConfig::default()
+            });
+            let schema = Arc::new(Schema::new(vec![
+                Column::new("catid", ValueType::Int),
+                Column::new("price", ValueType::Int),
+            ]));
+            engine.create_table("items", schema, 0, 20, 100).unwrap();
+            let rows: Vec<Row> = (0..4000i64)
+                .map(|i| vec![Value::Int(i % 80), Value::Int(i)])
+                .collect();
+            engine.load("items", rows).unwrap();
+            let wl = MixedWorkloadConfig {
+                table: "items".into(),
+                // Wide clustered ranges spanning every shard.
+                reads: (0..8)
+                    .map(|i| Query::single(Pred::between(0, i, 79i64)))
+                    .collect(),
+                insert_rows: Vec::new(),
+                read_fraction: 1.0,
+                ops: 40,
+                threads: 1,
+                commit_every: 16,
+                seed: 7,
+            };
+            run_mixed(&engine, &wl).unwrap()
+        };
+        let seq = run_with(1);
+        let par = run_with(4);
+        assert_eq!(seq.rows_matched, par.rows_matched);
+        assert!(
+            par.read_latency.p99_ms < 0.7 * seq.read_latency.p99_ms,
+            "4 workers beat 1: {} vs {}",
+            par.read_latency.p99_ms,
+            seq.read_latency.p99_ms
+        );
     }
 
     #[test]

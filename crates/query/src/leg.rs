@@ -1,0 +1,99 @@
+//! Per-shard query legs: the plan phase's output.
+//!
+//! A query over a range-partitioned table decomposes into one *leg* per
+//! overlapping shard: the shard-restricted predicate
+//! ([`crate::restrict_to_shard`]) plus the access path the planner chose
+//! for that shard. Splitting planning from execution lets an engine
+//! snapshot every routing and costing decision first, then run the legs
+//! on a worker pool — the intra-query parallelism MPP-style hybrids
+//! (HRDBMS) combine with per-partition operator pipelines.
+
+use crate::plan::PlanChoice;
+use crate::predicate::Query;
+
+/// One shard's slice of a query: where it runs, what predicate it sees
+/// there, and which access path the planner picked for it.
+#[derive(Debug, Clone)]
+pub struct ShardLeg {
+    /// The shard (storage backend / partition index) this leg runs on.
+    pub shard: usize,
+    /// The query intersected with the shard's ownership range.
+    pub query: Query,
+    /// The planner's decision for this shard (estimates for every
+    /// candidate path against the shard's own statistics).
+    pub choice: PlanChoice,
+}
+
+/// A planned query: every leg it will execute, in ascending shard order.
+/// Shards the router pruned (no key of the predicate can live there)
+/// have no leg.
+#[derive(Debug, Clone, Default)]
+pub struct QueryPlan {
+    /// Per-shard legs, ascending by shard id.
+    pub legs: Vec<ShardLeg>,
+}
+
+impl QueryPlan {
+    /// A plan over the given legs.
+    pub fn new(legs: Vec<ShardLeg>) -> Self {
+        QueryPlan { legs }
+    }
+
+    /// Whether every shard was pruned (the query can match nothing).
+    pub fn is_empty(&self) -> bool {
+        self.legs.is_empty()
+    }
+
+    /// The shard ids the query will execute on, ascending.
+    pub fn shards(&self) -> Vec<usize> {
+        self.legs.iter().map(|l| l.shard).collect()
+    }
+
+    /// The first leg's choice — the single-shard summary older callers
+    /// expect. Falls back to a zero-cost scan when every shard was
+    /// pruned. Multi-shard consumers should read [`QueryPlan::legs`]:
+    /// per-shard statistics can send different shards down different
+    /// paths.
+    pub fn primary(&self) -> PlanChoice {
+        self.legs
+            .first()
+            .map(|l| l.choice.clone())
+            .unwrap_or_else(PlanChoice::empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AccessPath;
+    use crate::predicate::{Pred, Query};
+
+    fn leg(shard: usize, est: f64) -> ShardLeg {
+        ShardLeg {
+            shard,
+            query: Query::single(Pred::eq(0, shard as i64)),
+            choice: PlanChoice {
+                path: AccessPath::FullScan,
+                est_ms: est,
+                alternatives: vec![(AccessPath::FullScan, est)],
+            },
+        }
+    }
+
+    #[test]
+    fn empty_plan_has_scan_primary() {
+        let p = QueryPlan::default();
+        assert!(p.is_empty());
+        assert!(p.shards().is_empty());
+        assert_eq!(p.primary().path, AccessPath::FullScan);
+        assert_eq!(p.primary().est_ms, 0.0);
+    }
+
+    #[test]
+    fn primary_is_first_leg() {
+        let p = QueryPlan::new(vec![leg(1, 3.0), leg(3, 5.0)]);
+        assert!(!p.is_empty());
+        assert_eq!(p.shards(), vec![1, 3]);
+        assert_eq!(p.primary().est_ms, 3.0);
+    }
+}

@@ -20,12 +20,14 @@
 //! the paths with the paper's cost model.
 
 pub mod exec;
+pub mod leg;
 pub mod plan;
 pub mod predicate;
 pub mod shard;
 pub mod table;
 
 pub use exec::{ExecContext, RunResult};
+pub use leg::{QueryPlan, ShardLeg};
 pub use plan::{AccessPath, PlanChoice, Planner};
 pub use predicate::{Pred, PredOp, Query};
 pub use shard::{restrict_to_shard, ShardRange};

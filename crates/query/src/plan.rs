@@ -39,6 +39,14 @@ pub struct PlanChoice {
     pub alternatives: Vec<(AccessPath, f64)>,
 }
 
+impl PlanChoice {
+    /// The choice for a query that touches nothing (every shard pruned):
+    /// a zero-cost scan with no alternatives.
+    pub fn empty() -> Self {
+        PlanChoice { path: AccessPath::FullScan, est_ms: 0.0, alternatives: Vec::new() }
+    }
+}
+
 /// Cost-based path selection over a table's access structures.
 pub struct Planner {
     disk: DiskConfig,

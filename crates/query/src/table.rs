@@ -255,6 +255,14 @@ impl Table {
     }
 }
 
+// A table partition must be shareable with executor worker threads: a
+// fan-out engine hands `&Table` (under its partition lock) to the worker
+// running that shard's leg.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Table>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,6 +85,13 @@ pub fn makespan_ms<'a>(shards: impl IntoIterator<Item = &'a IoStats>) -> f64 {
     shards.into_iter().map(|s| s.elapsed_ms).fold(0.0, f64::max)
 }
 
+// A shard backend is handed by reference to executor worker threads
+// running per-shard query legs, so disk and pool must both be shareable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StorageShard>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -98,7 +98,7 @@ fn main() {
     }
 
     // The router reaches the same conclusion on its own.
-    let choice = engine.explain("photo_tag", &q).unwrap();
+    let choice = engine.explain("photo_tag", &q).unwrap().primary();
     println!(
         "\nrouter picks {:?} (estimated {:.1} ms)",
         choice.path, choice.est_ms

@@ -73,7 +73,7 @@ fn main() {
     println!("  full table scan               : {:>9.1} ms", r_scan.run.ms());
 
     // ---- 4. Let the engine's router decide -------------------------------
-    let choice = good.explain("lineitem", &q).unwrap();
+    let choice = good.explain("lineitem", &q).unwrap().primary();
     let label = good
         .with_table("lineitem", |t| match choice.path {
             AccessPath::FullScan => "full scan".to_string(),

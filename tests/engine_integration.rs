@@ -106,7 +106,7 @@ fn cost_model_routes_by_selectivity() {
 fn chosen_path_estimate_is_cheapest_candidate() {
     let (engine, data, _sec, _cm) = tpch_engine();
     let q = Query::single(Pred::is_in(tpch::COL_SHIPDATE, data.random_shipdates(8, 1)));
-    let plan = engine.explain("lineitem", &q).unwrap();
+    let plan = engine.explain("lineitem", &q).unwrap().primary();
     for (alt, est) in &plan.alternatives {
         assert!(
             plan.est_ms <= *est + 1e-9,

@@ -117,11 +117,13 @@ fn engine_mixed_smoke() {
     assert_eq!(r.rows.len(), 4, "B+Tree and CM configurations at two mixes");
     // Reads were cost-routed: the routing cell accounts for every read.
     for row in &r.rows {
-        assert!(row.cells[5].starts_with("cm:"), "routing cell: {}", row.cells[5]);
+        assert!(row.cells[6].starts_with("cm:"), "routing cell: {}", row.cells[6]);
     }
+    assert!(r.latency.is_some(), "mixed workload reports read latency");
     // JSON emission is well-formed enough to embed.
     let json = r.to_json();
     assert!(json.contains("\"id\":\"engine_mixed\""));
+    assert!(json.contains("\"latency\":{\"p50_ms\":"));
     check(r, true);
 }
 
@@ -130,7 +132,36 @@ fn engine_sharded_smoke() {
     let r = experiments::engine_sharded::run(BenchScale::Smoke);
     assert_eq!(r.rows.len(), 10, "four shard counts at two mixes + WAL comparison");
     assert!(r.commentary.contains("group commit"), "{}", r.commentary);
+    assert!(r.latency.is_some(), "sharded workload reports read latency");
     let json = r.to_json();
     assert!(json.contains("\"id\":\"engine_sharded\""));
+    check(r, true);
+}
+
+#[test]
+fn fanout_latency_smoke() {
+    let r = experiments::fanout_latency::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 12, "three shard counts x four worker counts");
+    assert!(r.latency.is_some(), "headline percentiles at 4 workers / 4 shards");
+    let json = r.to_json();
+    assert!(json.contains("\"id\":\"fanout_latency\""));
+
+    // The tentpole claim at smoke scale: at a fixed shard count, adding
+    // workers cuts multi-shard p99 latency. Compare the 4-shard rows.
+    let p99 = |label: &str| -> f64 {
+        r.rows
+            .iter()
+            .find(|row| row.label == label)
+            .unwrap_or_else(|| panic!("row {label} present"))
+            .cells[3]
+            .parse()
+            .expect("p99 cell is numeric")
+    };
+    let one = p99("4 shards x 1 worker(s)");
+    let four = p99("4 shards x 4 worker(s)");
+    assert!(
+        four < 0.7 * one,
+        "4 workers improve 4-shard p99 ({four} ms) well below 1 worker ({one} ms)"
+    );
     check(r, true);
 }

@@ -1,13 +1,16 @@
 //! Property tests for clustered-key shard routing: for arbitrary data,
 //! shard counts, and predicates, the union of rows returned across
 //! shards equals a brute-force oracle over the input rows (sharding may
-//! reroute work, never change answers), and point queries on the
-//! clustered attribute touch exactly one shard.
+//! reroute work, never change answers), point queries on the clustered
+//! attribute touch exactly one shard, and the parallel executor's
+//! fan-out returns the same rows as sequential execution — including
+//! while a concurrent writer mutates a different shard.
 
 use cm_engine::{Engine, EngineConfig};
 use cm_query::{Pred, Query};
 use cm_storage::{Column, Row, Schema, Value, ValueType};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn schema() -> Arc<Schema> {
@@ -24,8 +27,8 @@ fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
         .prop_map(|v| v.into_iter().map(|(k, noise)| (k, k * 10 + noise)).collect())
 }
 
-fn build_engine(shards: usize, data: &[(i64, i64)]) -> Arc<Engine> {
-    let engine = Engine::new(EngineConfig { shards, ..EngineConfig::default() });
+fn build_engine_workers(shards: usize, workers: usize, data: &[(i64, i64)]) -> Arc<Engine> {
+    let engine = Engine::new(EngineConfig { shards, workers, ..EngineConfig::default() });
     engine.create_table("t", schema(), 0, 8, 16).unwrap();
     let rows: Vec<Row> = data
         .iter()
@@ -33,6 +36,10 @@ fn build_engine(shards: usize, data: &[(i64, i64)]) -> Arc<Engine> {
         .collect();
     engine.load("t", rows).unwrap();
     engine
+}
+
+fn build_engine(shards: usize, data: &[(i64, i64)]) -> Arc<Engine> {
+    build_engine_workers(shards, 1, data)
 }
 
 /// Brute-force oracle: filter the input rows directly.
@@ -107,6 +114,64 @@ proptest! {
         // Every row with that key lives on the routed shard.
         let expected = data.iter().filter(|&&(k, _)| k == point).count() as u64;
         assert_eq!(out.run.matched, expected);
+    }
+
+    #[test]
+    fn parallel_fanout_equals_sequential_oracle_under_concurrent_inserts(
+        data in rows_strategy(),
+        qlo in 0i64..60,
+        qspan in 0i64..25,
+        point in 0i64..60,
+    ) {
+        // The parallel engine executes legs on 4 workers while a writer
+        // session streams inserts into the *last* shard (keys >= 1000,
+        // values < 0 — matched by none of the queries below, so every
+        // read has a stable expected answer).
+        let par = build_engine_workers(4, 4, &data);
+        let seq = build_engine_workers(4, 1, &data);
+        let stable_queries = vec![
+            Query::single(Pred::eq(0, point)),
+            Query::single(Pred::between(0, qlo, qlo + qspan)),
+            Query::single(Pred::is_in(
+                0,
+                vec![Value::Int(point), Value::Int(qlo), Value::Int(qlo + qspan)],
+            )),
+            Query::single(Pred::between(1, qlo * 10, (qlo + qspan) * 10)),
+            Query::new(vec![Pred::between(0, qlo, qlo + qspan), Pred::eq(1, point * 10)]),
+        ];
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writer = par.session();
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                let mut i = 0i64;
+                while !stop_ref.load(Ordering::Acquire) {
+                    writer
+                        .insert("t", vec![Value::Int(1000 + i % 40), Value::Int(-1 - i)])
+                        .unwrap();
+                    if i % 16 == 0 {
+                        writer.commit();
+                    }
+                    i += 1;
+                }
+                writer.commit();
+            });
+            for q in &stable_queries {
+                let a = par.execute_collect("t", q).unwrap();
+                let b = seq.execute_collect("t", q).unwrap();
+                let mut ra = a.rows.unwrap();
+                let mut rb = b.rows.unwrap();
+                ra.sort();
+                rb.sort();
+                assert_eq!(ra, rb, "parallel == sequential for {q:?}");
+                assert_eq!(ra, oracle(&data, q), "both match the brute-force oracle");
+                assert!(
+                    a.parallel_ms <= a.run.ms() + 1e-9,
+                    "fan-out makespan never exceeds the serial sum"
+                );
+            }
+            stop.store(true, Ordering::Release);
+        });
     }
 
     #[test]
