@@ -138,6 +138,8 @@ fn row_cells(r: &WorkloadReport) -> Vec<String> {
             r.routes.secondary_pipelined,
             r.routes.full_scan
         ),
+        format!("{:.0}%", r.pool.hit_rate() * 100.0),
+        format!("{:.3}", r.io.seeks_per_page()),
     ]
 }
 
@@ -168,6 +170,8 @@ pub fn run(scale: BenchScale) -> Report {
             "simulated I/O",
             "read p50/p95/p99 (ms)",
             "routing",
+            "pool hit",
+            "seeks/page",
         ],
     );
 

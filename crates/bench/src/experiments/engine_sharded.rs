@@ -102,6 +102,8 @@ fn row_cells(r: &WorkloadReport) -> Vec<String> {
             "{:.2}",
             r.wal.pages_flushed as f64 / (r.writes.max(1)) as f64
         ),
+        format!("{:.0}%", r.pool.hit_rate() * 100.0),
+        format!("{:.3}", r.io.seeks_per_page()),
     ]
 }
 
@@ -134,6 +136,8 @@ pub fn run(scale: BenchScale) -> Report {
             "busy shards",
             "wal flushes/commits",
             "wal pages per write",
+            "pool hit",
+            "seeks/page",
         ],
     );
 

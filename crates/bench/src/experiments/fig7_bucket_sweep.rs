@@ -32,7 +32,7 @@ pub fn run(scale: BenchScale) -> Report {
     let ctx = ExecContext::cold(&disk);
     let bt_ms = {
         disk.reset();
-        table.exec_secondary_sorted(&ctx, sec, &q).ms()
+        table.exec_secondary_sorted(&ctx, sec, &q).expect("indexed predicate").ms()
     };
     let params = CostParams::new(
         &disk.config(),

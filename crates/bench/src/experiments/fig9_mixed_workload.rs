@@ -108,10 +108,12 @@ fn run_config(
                         n += 1;
                     });
                 } else {
-                    table.exec_secondary_sorted_visit(&ctx, idx, &q, |row| {
-                        sum += row[COL_PRICE].as_int().unwrap_or(0);
-                        n += 1;
-                    });
+                    table
+                        .exec_secondary_sorted_visit(&ctx, idx, &q, |row| {
+                            sum += row[COL_PRICE].as_int().unwrap_or(0);
+                            n += 1;
+                        })
+                        .expect("price predicate");
                 }
                 let _avg = if n > 0 { sum / n as i64 } else { 0 };
             }

@@ -15,6 +15,7 @@ pub mod fig7_bucket_sweep;
 pub mod fig8_maintenance;
 pub mod fig9_mixed_workload;
 pub mod fig10_cost_model;
+pub mod run_io;
 pub mod tab3_clustered_bucketing;
 pub mod tab4_bucketing_candidates;
 pub mod tab5_advisor_designs;
@@ -42,5 +43,6 @@ pub fn run_all(scale: BenchScale) -> Vec<Report> {
         engine_mixed::run(scale),
         engine_sharded::run(scale),
         fanout_latency::run(scale),
+        run_io::run(scale),
     ]
 }

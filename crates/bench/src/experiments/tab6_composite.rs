@@ -82,11 +82,13 @@ pub fn run(scale: BenchScale) -> Report {
         disk.reset();
         let ctx = ExecContext::cold(&disk);
         let mut matched = 0u64;
-        table.exec_secondary_sorted_visit(&ctx, bt_pair, &q, |row| {
-            if residual(row) {
-                matched += 1;
-            }
-        });
+        table
+            .exec_secondary_sorted_visit(&ctx, bt_pair, &q, |row| {
+                if residual(row) {
+                    matched += 1;
+                }
+            })
+            .expect("ra predicate");
         let elapsed = disk.stats().elapsed_ms;
         let size = table.secondary(bt_pair).size_bytes();
         results.push(("B+Tree(ra,dec)".into(), elapsed, size));

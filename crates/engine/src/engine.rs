@@ -682,7 +682,18 @@ impl Engine {
     /// **Execute phase**, one leg: run the planned path against the
     /// leg's shard backend with its own [`ExecContext`], buffering any
     /// collected rows per leg (merged by the caller in shard order).
-    fn run_leg(&self, lt: &LoadedTable, leg: &ShardLeg, collect: bool, cold: bool) -> (RunResult, Vec<Row>) {
+    /// The scan paths (full, sorted, CM) sweep their heap pages as
+    /// vectored runs; the pipelined path deliberately keeps per-fetch
+    /// charging (the paper's §3.1 model). A forced secondary path the
+    /// index cannot serve (no predicate on its first key column)
+    /// surfaces as [`EngineError::Query`].
+    fn run_leg(
+        &self,
+        lt: &LoadedTable,
+        leg: &ShardLeg,
+        collect: bool,
+        cold: bool,
+    ) -> Result<(RunResult, Vec<Row>)> {
         let part = lt.parts[leg.shard].read();
         let t = &*part;
         let backend = &self.backends[leg.shard];
@@ -701,14 +712,14 @@ impl Engine {
         let r = match leg.choice.path {
             AccessPath::FullScan => t.exec_full_scan_visit(&ctx, q, &mut visit),
             AccessPath::SecondarySorted(id) => {
-                t.exec_secondary_sorted_visit(&ctx, id, q, &mut visit)
+                t.exec_secondary_sorted_visit(&ctx, id, q, &mut visit)?
             }
             AccessPath::SecondaryPipelined(id) => {
-                t.exec_secondary_pipelined_visit(&ctx, id, q, &mut visit)
+                t.exec_secondary_pipelined_visit(&ctx, id, q, &mut visit)?
             }
             AccessPath::CmScan(id) => t.exec_cm_scan_visit(&ctx, id, q, &mut visit),
         };
-        (r, rows)
+        Ok((r, rows))
     }
 
     pub(crate) fn execute_inner(
@@ -729,8 +740,9 @@ impl Engine {
         // Execute phase: single-leg (or single-worker) plans run inline;
         // multi-leg plans fan out on the shared worker pool, each leg on
         // its own shard backend. Results come back in leg (shard) order
-        // either way, so merging is deterministic.
-        let leg_runs: Vec<(RunResult, Vec<Row>)> =
+        // either way, so merging is deterministic. Legs are read-only, so
+        // surfacing the first failed leg's error loses nothing.
+        let leg_runs: Vec<Result<(RunResult, Vec<Row>)>> =
             if plan.legs.len() <= 1 || self.executor.workers() == 1 {
                 plan.legs.iter().map(|leg| self.run_leg(lt, leg, collect, cold)).collect()
             } else {
@@ -746,7 +758,8 @@ impl Engine {
         let mut rows: Vec<Row> = Vec::new();
         let mut legs: Vec<LegOutcome> = Vec::with_capacity(plan.legs.len());
         let mut leg_ms: Vec<f64> = Vec::with_capacity(plan.legs.len());
-        for (leg, (r, leg_rows)) in plan.legs.into_iter().zip(leg_runs) {
+        for (leg, leg_run) in plan.legs.into_iter().zip(leg_runs) {
+            let (r, leg_rows) = leg_run?;
             run.matched += r.matched;
             run.examined += r.examined;
             run.io.add(&r.io);
@@ -847,14 +860,20 @@ impl Engine {
         let mut t = lt.parts[shard].write();
         let pool = self.backends[shard].pool();
         let mut local: Vec<Rid> = Vec::new();
-        for page in 0..t.heap().num_pages() {
-            let (start, _) = t.heap().page_rid_range(page);
-            let page_rows = t.heap().read_page(pool, page)?;
-            for (j, row) in page_rows.iter().enumerate() {
-                if sub.matches(row) {
-                    local.push(Rid(start.0 + j as u64));
+        // The victim scan sweeps the whole shard heap as one vectored run
+        // through the pool — one seek even while other shards' legs (or
+        // the WAL) share their devices.
+        let pages = t.heap().num_pages();
+        if pages > 0 {
+            let tpp = t.heap().tups_per_page() as u64;
+            t.heap().read_run_visit(pool, 0, pages - 1, |page, page_rows| {
+                let start = page * tpp;
+                for (j, row) in page_rows.iter().enumerate() {
+                    if sub.matches(row) {
+                        local.push(Rid(start + j as u64));
+                    }
                 }
-            }
+            })?;
         }
         for &rid in &local {
             t.delete_row(pool, Some(&mut batch), rid)?;
@@ -1130,6 +1149,39 @@ mod tests {
         }
         // Forced paths are not counted as routing decisions.
         assert_eq!(engine.route_counts().total(), 0);
+    }
+
+    #[test]
+    fn forced_secondary_without_prefix_predicate_surfaces_query_error() {
+        let engine = demo_engine();
+        let sec = engine.create_btree("items", "cat_price", vec![0, 1]).unwrap();
+        // Predicate on price only: the (catid, price) index has no usable
+        // prefix. A forced run must error cleanly, not panic.
+        let q = Query::single(Pred::eq(1, 4217i64));
+        let err = engine
+            .execute_via("items", AccessPath::SecondarySorted(sec), &q)
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                EngineError::Query(cm_query::QueryError::NoIndexPredicate { index, col: 0 })
+                    if index == "cat_price"
+            ),
+            "got {err:?}"
+        );
+        assert!(engine
+            .execute_via("items", AccessPath::SecondaryPipelined(sec), &q)
+            .is_err());
+        // Cost-based routing never picks the unusable path, so the same
+        // query executes fine un-forced.
+        assert!(engine.execute("items", &q).is_ok());
+        // The parallel fan-out path surfaces the error too.
+        let par = parallel_engine(4, 4);
+        let sec = par.create_btree("items", "cat_price", vec![0, 1]).unwrap();
+        assert!(matches!(
+            par.execute_via("items", AccessPath::SecondarySorted(sec), &q),
+            Err(EngineError::Query(_))
+        ));
     }
 
     #[test]

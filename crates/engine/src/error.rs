@@ -1,5 +1,6 @@
 //! Engine error type.
 
+use cm_query::QueryError;
 use cm_storage::StorageError;
 use std::fmt;
 
@@ -8,6 +9,9 @@ use std::fmt;
 pub enum EngineError {
     /// A storage-layer failure (bad row, out-of-range RID, ...).
     Storage(StorageError),
+    /// A query-execution failure (e.g. a forced secondary path with no
+    /// predicate on the index's first key column).
+    Query(QueryError),
     /// No table with this name in the catalog.
     UnknownTable(String),
     /// A table with this name already exists.
@@ -40,6 +44,7 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Query(e) => write!(f, "query error: {e}"),
             EngineError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
             EngineError::DuplicateTable(t) => write!(f, "table {t:?} already exists"),
             EngineError::NotLoaded(t) => write!(f, "table {t:?} has not been loaded"),
@@ -61,6 +66,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Storage(e) => Some(e),
+            EngineError::Query(e) => Some(e),
             _ => None,
         }
     }
@@ -69,5 +75,11 @@ impl std::error::Error for EngineError {
 impl From<StorageError> for EngineError {
     fn from(e: StorageError) -> Self {
         EngineError::Storage(e)
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
     }
 }

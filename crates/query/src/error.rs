@@ -1,0 +1,32 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+/// Errors surfaced by query execution (as opposed to planning, which
+/// simply never chooses an inapplicable path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A (forced) secondary-index path was asked to execute a query with
+    /// no predicate on the index's first key column. The index cannot
+    /// narrow the scan at all — the cost-based router would never pick
+    /// it, so this only arises from an explicitly forced path.
+    NoIndexPredicate {
+        /// The index's name.
+        index: String,
+        /// The index's first (prefix) key column position.
+        col: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NoIndexPredicate { index, col } => write!(
+                f,
+                "secondary index {index:?} has no predicate on its first key column {col}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

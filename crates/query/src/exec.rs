@@ -6,11 +6,13 @@
 //! priced with the paper's Table 1 constants by
 //! [`cm_storage::DiskSim`].
 
+use crate::error::QueryError;
 use crate::predicate::{PredOp, Query};
 use crate::table::Table;
 use cm_core::AttrConstraint;
 use cm_index::IndexKey;
 use cm_storage::{DiskSim, IoStats, PageAccessor, ReadCache, Rid, Value};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Where an execution charges I/O and reads its clock.
@@ -69,15 +71,21 @@ impl Table {
         let before = ctx.disk.stats();
         let mut matched = 0u64;
         let mut examined = 0u64;
-        for page in 0..self.heap().num_pages() {
-            let rows = self.heap().read_page(ctx.io, page).expect("page in range");
-            for row in rows {
-                examined += 1;
-                if q.matches(row) {
-                    matched += 1;
-                    on_match(row);
-                }
-            }
+        let pages = self.heap().num_pages();
+        if pages > 0 {
+            // The whole heap is one vectored run: a single seek plus
+            // sequential pages, atomic against concurrent sessions.
+            self.heap()
+                .read_run_visit(ctx.io, 0, pages - 1, |_, rows| {
+                    for row in rows {
+                        examined += 1;
+                        if q.matches(row) {
+                            matched += 1;
+                            on_match(row);
+                        }
+                    }
+                })
+                .expect("full heap run in range");
         }
         RunResult { matched, examined, io: ctx.disk.stats().since(&before) }
     }
@@ -87,7 +95,15 @@ impl Table {
     /// all-equality composite probe when possible, otherwise fall back to
     /// a range over the first (prefix) column — exactly the prefix
     /// limitation of composite B+Trees that Experiment 5 exposes.
-    fn secondary_rids(&self, io: &dyn PageAccessor, sec_id: usize, q: &Query) -> Vec<Rid> {
+    ///
+    /// Errors (instead of panicking) when the query has no predicate on
+    /// the index's first key column — an unusable forced path.
+    fn secondary_rids(
+        &self,
+        io: &dyn PageAccessor,
+        sec_id: usize,
+        q: &Query,
+    ) -> Result<Vec<Rid>, QueryError> {
         let sec = self.secondary(sec_id);
         let cols = sec.cols();
         // All-equality composite probe.
@@ -99,26 +115,38 @@ impl Table {
             })
             .collect();
         if let Some(vals) = eq_vals {
-            return sec.probe(io, &IndexKey::composite(vals)).to_vec();
+            return Ok(sec.probe(io, &IndexKey::composite(vals)).to_vec());
         }
         // Otherwise only the first (prefix) key column can narrow the
         // scan — the composite-index limitation Experiment 5 exposes.
         let first = cols[0];
-        match q.pred_on(first).map(|p| &p.op) {
+        let rids = match q.pred_on(first).map(|p| &p.op) {
             Some(PredOp::Eq(v)) => sec.probe_first_col_range(io, v, v),
             Some(PredOp::In(vs)) => {
+                // Duplicate IN values probe the same postings; dedup the
+                // RIDs (preserving probe order, so the pipelined path's
+                // access pattern is otherwise unchanged) rather than
+                // fetching the same heap rows twice.
+                let mut seen: HashSet<Rid> = HashSet::new();
                 let mut rids = Vec::new();
                 for v in vs {
-                    rids.extend(sec.probe_first_col_range(io, v, v));
+                    for rid in sec.probe_first_col_range(io, v, v) {
+                        if seen.insert(rid) {
+                            rids.push(rid);
+                        }
+                    }
                 }
                 rids
             }
             Some(PredOp::Between(lo, hi)) => sec.probe_first_col_range(io, lo, hi),
-            None => panic!(
-                "secondary index {:?} has no predicate on its first key column",
-                sec.name()
-            ),
-        }
+            None => {
+                return Err(QueryError::NoIndexPredicate {
+                    index: sec.name().to_string(),
+                    col: first,
+                })
+            }
+        };
+        Ok(rids)
     }
 
     /// Access path 2: pipelined secondary index scan (§3.1): every
@@ -128,7 +156,7 @@ impl Table {
         ctx: &ExecContext<'_>,
         sec_id: usize,
         q: &Query,
-    ) -> RunResult {
+    ) -> Result<RunResult, QueryError> {
         self.exec_secondary_pipelined_visit(ctx, sec_id, q, |_| {})
     }
 
@@ -139,11 +167,11 @@ impl Table {
         sec_id: usize,
         q: &Query,
         mut on_match: impl FnMut(&[Value]),
-    ) -> RunResult {
+    ) -> Result<RunResult, QueryError> {
         let before = ctx.disk.stats();
         // Pipelined probes are deliberately uncached: the paper's model
         // charges every lookup a full descent (§3.1).
-        let rids = self.secondary_rids(ctx.io, sec_id, q);
+        let rids = self.secondary_rids(ctx.io, sec_id, q)?;
         let mut matched = 0u64;
         let mut examined = 0u64;
         for rid in rids {
@@ -154,7 +182,7 @@ impl Table {
                 on_match(row);
             }
         }
-        RunResult { matched, examined, io: ctx.disk.stats().since(&before) }
+        Ok(RunResult { matched, examined, io: ctx.disk.stats().since(&before) })
     }
 
     /// Access path 3: sorted (bitmap) secondary index scan (§3.2):
@@ -165,7 +193,7 @@ impl Table {
         ctx: &ExecContext<'_>,
         sec_id: usize,
         q: &Query,
-    ) -> RunResult {
+    ) -> Result<RunResult, QueryError> {
         self.exec_secondary_sorted_visit(ctx, sec_id, q, |_| {})
     }
 
@@ -176,28 +204,34 @@ impl Table {
         sec_id: usize,
         q: &Query,
         mut on_match: impl FnMut(&[Value]),
-    ) -> RunResult {
+    ) -> Result<RunResult, QueryError> {
         let before = ctx.disk.stats();
         // Index pages (notably upper levels) are cached within the query,
         // as PostgreSQL's shared buffers would; the heap sweep is not.
         let index_io = ReadCache::new(ctx.io);
-        let rids = self.secondary_rids(&index_io, sec_id, q);
+        let rids = self.secondary_rids(&index_io, sec_id, q)?;
         let mut pages: Vec<u64> = rids.iter().map(|&r| self.heap().page_of(r)).collect();
         pages.sort_unstable();
         pages.dedup();
         let mut matched = 0u64;
         let mut examined = 0u64;
-        for page in pages {
-            let rows = self.heap().read_page(ctx.io, page).expect("page in range");
-            for row in rows {
-                examined += 1;
-                if q.matches(row) {
-                    matched += 1;
-                    on_match(row);
-                }
-            }
-        }
-        RunResult { matched, examined, io: ctx.disk.stats().since(&before) }
+        // Coalesce the sorted page list into maximal contiguous runs and
+        // sweep each as one vectored read — co-located results price one
+        // seek per run even under concurrent sessions.
+        cm_storage::for_each_page_run(&pages, |lo, hi| {
+            self.heap()
+                .read_run_visit(ctx.io, lo, hi, |_, rows| {
+                    for row in rows {
+                        examined += 1;
+                        if q.matches(row) {
+                            matched += 1;
+                            on_match(row);
+                        }
+                    }
+                })
+                .expect("rid pages in range");
+        });
+        Ok(RunResult { matched, examined, io: ctx.disk.stats().since(&before) })
     }
 
     /// Access path 4: CM-guided scan (§5.2, Figure 4).
@@ -253,17 +287,22 @@ impl Table {
 
         let mut matched = 0u64;
         let mut examined = 0u64;
+        // Each merged bucket range is already a maximal contiguous run:
+        // sweep it with one vectored read, so the CM's central promise —
+        // a few sequential clustered ranges — holds its sequential
+        // pricing even when concurrent sessions share the shard disk.
         for (lo, hi) in merged {
-            for page in lo..=hi {
-                let rows = self.heap().read_page(ctx.io, page).expect("page in range");
-                for row in rows {
-                    examined += 1;
-                    if q.matches(row) {
-                        matched += 1;
-                        on_match(row);
+            self.heap()
+                .read_run_visit(ctx.io, lo, hi, |_, rows| {
+                    for row in rows {
+                        examined += 1;
+                        if q.matches(row) {
+                            matched += 1;
+                            on_match(row);
+                        }
                     }
-                }
-            }
+                })
+                .expect("bucket pages in range");
         }
         RunResult { matched, examined, io: ctx.disk.stats().since(&before) }
     }
@@ -336,8 +375,8 @@ mod tests {
         for q in &queries {
             let truth = count_by_scan(&t, &disk, q);
             let ctx = ExecContext::cold(&disk);
-            assert_eq!(t.exec_secondary_sorted(&ctx, sec, q).matched, truth, "{q:?}");
-            assert_eq!(t.exec_secondary_pipelined(&ctx, sec, q).matched, truth, "{q:?}");
+            assert_eq!(t.exec_secondary_sorted(&ctx, sec, q).unwrap().matched, truth, "{q:?}");
+            assert_eq!(t.exec_secondary_pipelined(&ctx, sec, q).unwrap().matched, truth, "{q:?}");
             assert_eq!(t.exec_cm_scan(&ctx, cm, q).matched, truth, "{q:?}");
         }
     }
@@ -360,8 +399,8 @@ mod tests {
         let sec = t.add_secondary(&disk, "price", vec![1]);
         let q = Query::single(Pred::between(1, 2000i64, 2500i64));
         let ctx = ExecContext::cold(&disk);
-        let sorted = t.exec_secondary_sorted(&ctx, sec, &q);
-        let pipelined = t.exec_secondary_pipelined(&ctx, sec, &q);
+        let sorted = t.exec_secondary_sorted(&ctx, sec, &q).unwrap();
+        let pipelined = t.exec_secondary_pipelined(&ctx, sec, &q).unwrap();
         assert!(sorted.ms() < pipelined.ms() / 2.0, "{} vs {}", sorted.ms(), pipelined.ms());
     }
 
@@ -426,7 +465,7 @@ mod tests {
             Pred::between(2, 0i64, 10i64),
         ]);
         let ctx = ExecContext::cold(&disk);
-        let r = t.exec_secondary_sorted(&ctx, sec, &q);
+        let r = t.exec_secondary_sorted(&ctx, sec, &q).unwrap();
         assert_eq!(r.matched, count_by_scan(&t, &disk, &q));
     }
 
@@ -437,7 +476,7 @@ mod tests {
         let sec = t.add_secondary(&disk, "cat_price", vec![0, 1]);
         let q = Query::new(vec![Pred::eq(0, 42i64), Pred::eq(1, 4217i64)]);
         let ctx = ExecContext::cold(&disk);
-        let r = t.exec_secondary_sorted(&ctx, sec, &q);
+        let r = t.exec_secondary_sorted(&ctx, sec, &q).unwrap();
         assert_eq!(r.matched, count_by_scan(&t, &disk, &q));
     }
 
@@ -456,6 +495,64 @@ mod tests {
         });
         assert_eq!(n, r.matched);
         assert!(sum >= 100 * n as i64 && sum <= 199 * n as i64);
+    }
+
+    #[test]
+    fn forced_secondary_without_prefix_predicate_errors() {
+        let disk = DiskSim::with_defaults();
+        let mut t = demo(&disk);
+        let sec = t.add_secondary(&disk, "price_tag", vec![1, 2]);
+        // Predicate only on `tag` (col 2): the (price, tag) index cannot
+        // narrow at all — a clean error, not a panic.
+        let q = Query::single(Pred::eq(2, 5i64));
+        let ctx = ExecContext::cold(&disk);
+        let err = t.exec_secondary_sorted(&ctx, sec, &q).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::NoIndexPredicate { index: "price_tag".into(), col: 1 }
+        );
+        assert!(t.exec_secondary_pipelined(&ctx, sec, &q).is_err());
+        assert!(err.to_string().contains("price_tag"), "{err}");
+    }
+
+    #[test]
+    fn in_list_probes_dedup_rids() {
+        let disk = DiskSim::with_defaults();
+        let mut t = demo(&disk);
+        let sec = t.add_secondary(&disk, "price", vec![1]);
+        let ctx = ExecContext::cold(&disk);
+        let unique = Query::single(Pred::is_in(1, vec![Value::Int(4217), Value::Int(100)]));
+        let dup = Query::single(Pred::is_in(
+            1,
+            vec![Value::Int(4217), Value::Int(100), Value::Int(4217), Value::Int(4217)],
+        ));
+        let a = t.exec_secondary_pipelined(&ctx, sec, &unique).unwrap();
+        let b = t.exec_secondary_pipelined(&ctx, sec, &dup).unwrap();
+        assert_eq!(a.matched, b.matched);
+        assert_eq!(
+            a.examined, b.examined,
+            "duplicate IN values must not re-fetch the same heap rows"
+        );
+    }
+
+    #[test]
+    fn sorted_scan_coalesces_contiguous_pages_into_runs() {
+        let disk = DiskSim::with_defaults();
+        let mut t = demo(&disk);
+        let sec = t.add_secondary(&disk, "price", vec![1]);
+        // A contiguous price band on the cat-correlated column maps to a
+        // handful of contiguous heap page runs.
+        let q = Query::single(Pred::between(1, 2000i64, 2499i64));
+        let ctx = ExecContext::cold(&disk);
+        let r = t.exec_secondary_sorted(&ctx, sec, &q).unwrap();
+        let heap_pages = (r.io.seeks + r.io.seq_reads) as f64;
+        assert!(
+            (r.io.seeks as f64) < 0.3 * heap_pages,
+            "coalesced runs: {} seeks over {} read pages",
+            r.io.seeks,
+            heap_pages
+        );
+        assert_eq!(r.matched, count_by_scan(&t, &disk, &q));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! maintenance paths measured in Experiment 3. [`Planner`] chooses among
 //! the paths with the paper's cost model.
 
+pub mod error;
 pub mod exec;
 pub mod leg;
 pub mod plan;
@@ -26,6 +27,7 @@ pub mod predicate;
 pub mod shard;
 pub mod table;
 
+pub use error::QueryError;
 pub use exec::{ExecContext, RunResult};
 pub use leg::{QueryPlan, ShardLeg};
 pub use plan::{AccessPath, PlanChoice, Planner};

@@ -242,7 +242,7 @@ mod tests {
         let planner = Planner::new(disk.config());
         let choice = planner.choose(&t, &q);
         let ctx = ExecContext::cold(&disk);
-        let sorted = t.exec_secondary_sorted(&ctx, sec, &q);
+        let sorted = t.exec_secondary_sorted(&ctx, sec, &q).unwrap();
         let scan = t.exec_full_scan(&ctx, &q);
         assert!(sorted.ms() < scan.ms());
         // Planner agreed: its chosen estimate is below its scan estimate.

@@ -46,6 +46,16 @@ impl PoolStats {
         self.dirty_evictions += other.dirty_evictions;
         self.clean_evictions += other.clean_evictions;
     }
+
+    /// Fraction of accesses served without disk I/O (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 struct Frame {
@@ -115,11 +125,17 @@ impl BufferPool {
             .filter(|(_, f)| f.dirty)
             .map(|(k, _)| *k)
             .collect();
-        // Background writer behaviour: flush in file/page order so the
-        // writes get whatever sequentiality the dirty set allows.
+        // Background writer behaviour: flush in file/page order and write
+        // each maximal contiguous run vectored, so checkpoint write-back
+        // prices one seek per run — and stays that way even when other
+        // sessions are hammering the same disk.
         dirty.sort();
-        for (file, page) in dirty {
-            self.disk.write(file, page);
+        for file_group in dirty.chunk_by(|a, b| a.0 == b.0) {
+            let file = file_group[0].0;
+            let pages: Vec<u64> = file_group.iter().map(|&(_, p)| p).collect();
+            crate::disk::for_each_page_run(&pages, |lo, hi| {
+                self.disk.write_run(file, lo, hi);
+            });
         }
         st.frames.clear();
         st.clock.clear();
@@ -132,39 +148,72 @@ impl BufferPool {
     }
 
     fn access(&self, file: FileId, page: u64, mark_dirty: bool) {
+        self.access_run(file, page, page, mark_dirty);
+    }
+
+    /// Serve the contiguous run `lo..=hi` under **one** pool lock:
+    /// resident pages are hits, each maximal non-resident sub-run is
+    /// charged as a single vectored disk read (readahead), and the
+    /// faulted frames are admitted with the usual clock eviction.
+    ///
+    /// The per-page behaviour (hit/miss classification, eviction victims,
+    /// and — single-threaded — even the disk pricing) is bit-identical to
+    /// calling [`BufferPool::read`]/[`BufferPool::write`] page by page;
+    /// what the run adds is atomicity: neither the pool state nor the
+    /// disk head can be interleaved by a concurrent session mid-run.
+    fn access_run(&self, file: FileId, lo: u64, hi: u64, mark_dirty: bool) {
+        assert!(lo <= hi, "run bounds inverted: {lo}..={hi}");
         let mut st = self.state.lock();
-        if let Some(frame) = st.frames.get_mut(&(file, page)) {
-            frame.referenced = true;
-            frame.dirty |= mark_dirty;
-            st.stats.hits += 1;
-            return;
-        }
-        st.stats.misses += 1;
-        // Fault the page in. A write to a non-resident page still reads it
-        // first (read-modify-write of a slotted page).
-        self.disk.read(file, page);
-        // Make room.
-        while st.frames.len() >= self.capacity {
-            let victim = st
-                .clock
-                .pop_front()
-                .expect("clock queue tracks every resident frame");
-            let frame = st.frames.get_mut(&victim).expect("clock entry is resident");
-            if frame.referenced {
-                frame.referenced = false;
-                st.clock.push_back(victim);
+        // Start of the current miss sub-run whose disk read is deferred
+        // (batched). Invariant: when `Some(s)`, every page in `s..=page`
+        // is a miss of this run that has been counted but not charged.
+        let mut pending: Option<u64> = None;
+        for page in lo..=hi {
+            if let Some(frame) = st.frames.get_mut(&(file, page)) {
+                frame.referenced = true;
+                frame.dirty |= mark_dirty;
+                st.stats.hits += 1;
+                if let Some(s) = pending.take() {
+                    self.disk.read_run(file, s, page - 1);
+                }
                 continue;
             }
-            let frame = st.frames.remove(&victim).expect("checked above");
-            if frame.dirty {
-                st.stats.dirty_evictions += 1;
-                self.disk.write(victim.0, victim.1);
-            } else {
-                st.stats.clean_evictions += 1;
+            st.stats.misses += 1;
+            // Fault the page in (charged with its sub-run; a write to a
+            // non-resident page still reads it first — read-modify-write
+            // of a slotted page). Then make room.
+            pending.get_or_insert(page);
+            while st.frames.len() >= self.capacity {
+                let victim = st
+                    .clock
+                    .pop_front()
+                    .expect("clock queue tracks every resident frame");
+                let frame = st.frames.get_mut(&victim).expect("clock entry is resident");
+                if frame.referenced {
+                    frame.referenced = false;
+                    st.clock.push_back(victim);
+                    continue;
+                }
+                let frame = st.frames.remove(&victim).expect("checked above");
+                if frame.dirty {
+                    st.stats.dirty_evictions += 1;
+                    // The write-back splits the read run: charge the
+                    // pending reads (whose fault-ins precede the
+                    // eviction) before moving the head to the victim.
+                    if let Some(s) = pending.take() {
+                        self.disk.read_run(file, s, page);
+                    }
+                    self.disk.write(victim.0, victim.1);
+                } else {
+                    st.stats.clean_evictions += 1;
+                }
             }
+            st.frames.insert((file, page), Frame { dirty: mark_dirty, referenced: true });
+            st.clock.push_back((file, page));
         }
-        st.frames.insert((file, page), Frame { dirty: mark_dirty, referenced: true });
-        st.clock.push_back((file, page));
+        if let Some(s) = pending {
+            self.disk.read_run(file, s, hi);
+        }
     }
 }
 
@@ -175,6 +224,14 @@ impl PageAccessor for BufferPool {
 
     fn write(&self, file: FileId, page: u64) {
         self.access(file, page, true);
+    }
+
+    fn read_run(&self, file: FileId, lo: u64, hi: u64) {
+        self.access_run(file, lo, hi, false);
+    }
+
+    fn write_run(&self, file: FileId, lo: u64, hi: u64) {
+        self.access_run(file, lo, hi, true);
     }
 }
 
@@ -273,6 +330,109 @@ mod tests {
         // 3,4,5 are contiguous: one seek then sequential.
         assert!((io.elapsed_ms - (5.5 + 2.0 * 0.078)).abs() < 1e-9);
         assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn read_run_splits_hits_and_miss_sub_runs() {
+        let disk = DiskSim::with_defaults();
+        let pool = BufferPool::new(disk.clone(), 16);
+        let f = disk.alloc_file();
+        // Warm pages 3 and 4.
+        pool.read(f, 3);
+        pool.read(f, 4);
+        let io_before = disk.stats();
+        let ps_before = pool.stats();
+        pool.read_run(f, 0, 9);
+        let io = disk.stats().since(&io_before);
+        let ps = pool.stats().since(&ps_before);
+        assert_eq!((ps.hits, ps.misses), (2, 8));
+        assert_eq!(io.pages(), 8, "resident pages charge nothing");
+        // Two vectored miss sub-runs reach the disk: 0..=2 and 5..=9.
+        // (0 is a backward seek, 5 continues from 2 as a read-through.)
+        assert_eq!(io.seeks + io.seq_reads, 8);
+        // A fully-resident run is all hits, no I/O.
+        let before = disk.stats();
+        pool.read_run(f, 0, 9);
+        assert_eq!(disk.stats(), before);
+        assert_eq!(pool.stats().since(&ps_before).hits, 2 + 10);
+    }
+
+    #[test]
+    fn read_run_matches_per_page_pool_exactly() {
+        // Hit/miss classification, eviction victims, disk page counts and
+        // (single-threaded) pricing are identical to per-page access —
+        // the vectored path changes atomicity, not behaviour.
+        let run_disk = DiskSim::with_defaults();
+        let page_disk = DiskSim::with_defaults();
+        let run_pool = BufferPool::new(run_disk.clone(), 6);
+        let page_pool = BufferPool::new(page_disk.clone(), 6);
+        let fr = run_disk.alloc_file();
+        let fp = page_disk.alloc_file();
+        let sweeps: [(u64, u64, bool); 5] =
+            [(0, 9, false), (4, 12, true), (2, 7, false), (0, 15, false), (5, 6, true)];
+        for &(lo, hi, dirty) in &sweeps {
+            if dirty {
+                run_pool.write_run(fr, lo, hi);
+                for p in lo..=hi {
+                    page_pool.write(fp, p);
+                }
+            } else {
+                run_pool.read_run(fr, lo, hi);
+                for p in lo..=hi {
+                    page_pool.read(fp, p);
+                }
+            }
+            assert_eq!(run_pool.stats(), page_pool.stats(), "after {lo}..={hi}");
+            let (a, b) = (run_disk.stats(), page_disk.stats());
+            assert_eq!(
+                (a.seeks, a.seq_reads, a.page_writes, a.write_seeks),
+                (b.seeks, b.seq_reads, b.page_writes, b.write_seeks),
+                "after {lo}..={hi}"
+            );
+            assert!((a.elapsed_ms - b.elapsed_ms).abs() < 1e-9, "after {lo}..={hi}");
+        }
+    }
+
+    #[test]
+    fn run_larger_than_capacity_still_admits_and_charges_once() {
+        let disk = DiskSim::with_defaults();
+        let pool = BufferPool::new(disk.clone(), 4);
+        let f = disk.alloc_file();
+        pool.read_run(f, 0, 19);
+        let s = disk.stats();
+        assert_eq!(s.seeks, 1, "one vectored read for the whole run");
+        assert_eq!(s.seq_reads, 19);
+        assert!(pool.resident() <= 4);
+        assert_eq!(pool.stats().misses, 20);
+        assert_eq!(pool.stats().clean_evictions, 16);
+    }
+
+    #[test]
+    fn flush_all_writes_runs_not_frames() {
+        // Regression (checkpoint write-back): contiguous dirty frames
+        // must flush as vectored runs — far fewer write seeks than
+        // frames, even though the dirty set was produced out of order.
+        let disk = DiskSim::with_defaults();
+        let pool = BufferPool::new(disk.clone(), 32);
+        let f = disk.alloc_file();
+        for page in [504u64, 500, 502, 501, 503, 2, 1, 0] {
+            pool.write(f, page);
+        }
+        // A second file's dirty pages form their own run.
+        let g = disk.alloc_file();
+        pool.write(g, 100);
+        pool.write(g, 101);
+        disk.reset();
+        let io = pool.flush_all();
+        assert_eq!(io.page_writes, 10);
+        assert!(
+            io.write_seeks < io.page_writes,
+            "vectored flush: {} write seeks for {} frames",
+            io.write_seeks,
+            io.page_writes
+        );
+        // One seek per contiguous run: {0..=2}, {500..=504}, {100..=101}.
+        assert_eq!(io.write_seeks, 3);
     }
 
     #[test]

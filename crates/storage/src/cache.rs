@@ -45,6 +45,28 @@ impl PageAccessor for ReadCache<'_> {
         // but they must reach the inner accessor for cost accounting.
         self.inner.write(file, page);
     }
+
+    fn read_run(&self, file: FileId, lo: u64, hi: u64) {
+        // Forward the maximal unseen sub-runs as vectored reads so the
+        // inner accessor keeps the one-seek-per-run pricing; already-seen
+        // pages split a run but cost nothing themselves.
+        let mut seen = self.seen.lock();
+        let mut start: Option<u64> = None;
+        for page in lo..=hi {
+            if seen.insert((file, page)) {
+                start.get_or_insert(page);
+            } else if let Some(s) = start.take() {
+                self.inner.read_run(file, s, page - 1);
+            }
+        }
+        if let Some(s) = start {
+            self.inner.read_run(file, s, hi);
+        }
+    }
+
+    fn write_run(&self, file: FileId, lo: u64, hi: u64) {
+        self.inner.write_run(file, lo, hi);
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +105,30 @@ mod tests {
         cache.write(f, 3);
         cache.write(f, 3);
         assert_eq!(disk.stats().page_writes, 2);
+    }
+
+    #[test]
+    fn read_run_charges_only_unseen_sub_runs() {
+        let disk = DiskSim::with_defaults();
+        let f = disk.alloc_file();
+        let cache = ReadCache::new(disk.as_ref());
+        // Pre-warm pages 3 and 4: a later run over 0..=9 must charge the
+        // two flanking sub-runs, vectored.
+        cache.read(f, 3);
+        cache.read(f, 4);
+        let before = disk.stats();
+        cache.read_run(f, 0, 9);
+        let d = disk.stats().since(&before);
+        assert_eq!(d.pages(), 8, "pages 3 and 4 are free");
+        // Two vectored sub-runs reach the disk: 0..=2 (a backward seek)
+        // and 5..=9 (a short forward skip, priced as read-through).
+        assert_eq!(d.seeks, 1);
+        assert_eq!(d.seq_reads, 7);
+        assert_eq!(cache.distinct_reads(), 10);
+        // A fully-seen run charges nothing.
+        let before = disk.stats();
+        cache.read_run(f, 0, 9);
+        assert_eq!(disk.stats(), before);
     }
 
     #[test]

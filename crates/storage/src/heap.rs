@@ -118,6 +118,33 @@ impl HeapFile {
         Ok(&self.rows[lo..hi])
     }
 
+    /// Visit the rows of the contiguous page run `lo..=hi`, charging the
+    /// whole run as **one** vectored read (one seek plus sequential
+    /// pages, atomic against concurrent sessions on the same device).
+    /// The visitor receives each page number with its row slice, in page
+    /// order. An empty run (`lo > hi`) is a free no-op.
+    pub fn read_run_visit(
+        &self,
+        io: &dyn PageAccessor,
+        lo: u64,
+        hi: u64,
+        mut visit: impl FnMut(u64, &[Row]),
+    ) -> Result<()> {
+        if lo > hi {
+            return Ok(());
+        }
+        if hi >= self.num_pages() {
+            return Err(StorageError::PageOutOfRange { page: hi, pages: self.num_pages() });
+        }
+        io.read_run(self.file, lo, hi);
+        for page in lo..=hi {
+            let start = page as usize * self.tups_per_page;
+            let end = (start + self.tups_per_page).min(self.rows.len());
+            visit(page, &self.rows[start..end]);
+        }
+        Ok(())
+    }
+
     /// RID range `[lo, hi)` of the rows stored on `page`.
     pub fn page_rid_range(&self, page: u64) -> (Rid, Rid) {
         let lo = page * self.tups_per_page as u64;
@@ -213,6 +240,27 @@ mod tests {
         assert_eq!(h.read_page(disk.as_ref(), 0).unwrap().len(), 4);
         assert_eq!(h.read_page(disk.as_ref(), 2).unwrap().len(), 2);
         assert!(h.read_page(disk.as_ref(), 3).is_err());
+    }
+
+    #[test]
+    fn read_run_visit_charges_one_run_and_visits_every_row() {
+        let disk = DiskSim::with_defaults();
+        let h = HeapFile::bulk_load(&disk, schema(), rows(10), 4).unwrap();
+        let mut seen: Vec<(u64, usize)> = Vec::new();
+        h.read_run_visit(disk.as_ref(), 0, 2, |page, rows| {
+            seen.push((page, rows.len()));
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(0, 4), (1, 4), (2, 2)]);
+        let s = disk.stats();
+        assert_eq!(s.seeks, 1, "whole sweep is one vectored run");
+        assert_eq!(s.seq_reads, 2);
+        // Out-of-range and empty runs.
+        assert!(h.read_run_visit(disk.as_ref(), 0, 3, |_, _| {}).is_err());
+        let before = disk.stats();
+        h.read_run_visit(disk.as_ref(), 2, 1, |_, _| panic!("empty run visits nothing"))
+            .unwrap();
+        assert_eq!(disk.stats(), before);
     }
 
     #[test]

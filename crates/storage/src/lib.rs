@@ -13,7 +13,12 @@
 //! * [`DiskSim`] — a simulated disk that records every page access and
 //!   charges seek or sequential cost depending on head position, exactly
 //!   the methodology the paper itself uses in §6.1.1 ("we simulated the
-//!   disk behavior by counting scanned pages and seeks").
+//!   disk behavior by counting scanned pages and seeks"). Vectored
+//!   `read_run`/`write_run` charge a whole contiguous page run atomically
+//!   under one lock — one seek plus sequential pages — so concurrent
+//!   sessions cannot interleave into the middle of a sweep and shatter
+//!   its sequential pricing ([`PerPageIo`] restores the page-at-a-time
+//!   baseline for comparison).
 //! * [`HeapFile`] — a paged heap of rows; clustering is achieved by bulk
 //!   loading rows sorted on the clustered attribute.
 //! * [`BufferPool`] — a capacity-bounded page cache with dirty write-back,
@@ -46,7 +51,7 @@ pub mod wal;
 
 pub use bufferpool::{BufferPool, PoolStats};
 pub use cache::ReadCache;
-pub use disk::{DiskConfig, DiskSim, FileId, IoStats, PageAccessor};
+pub use disk::{for_each_page_run, DiskConfig, DiskSim, FileId, IoStats, PageAccessor, PerPageIo};
 pub use error::StorageError;
 pub use group_commit::{GroupCommitConfig, GroupCommitStats, GroupCommitWal};
 pub use heap::HeapFile;

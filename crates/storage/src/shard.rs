@@ -125,8 +125,20 @@ mod tests {
 
     #[test]
     fn aggregation_and_makespan() {
-        let a = IoStats { seeks: 2, seq_reads: 10, page_writes: 1, elapsed_ms: 12.0 };
-        let b = IoStats { seeks: 1, seq_reads: 0, page_writes: 0, elapsed_ms: 5.5 };
+        let a = IoStats {
+            seeks: 2,
+            seq_reads: 10,
+            page_writes: 1,
+            write_seeks: 1,
+            elapsed_ms: 12.0,
+        };
+        let b = IoStats {
+            seeks: 1,
+            seq_reads: 0,
+            page_writes: 0,
+            write_seeks: 0,
+            elapsed_ms: 5.5,
+        };
         let total = aggregate_io([&a, &b]);
         assert_eq!(total.seeks, 3);
         assert_eq!(total.pages(), 14);

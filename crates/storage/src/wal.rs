@@ -134,9 +134,10 @@ impl Wal {
         let before = self.disk.stats();
         let total = self.buffer.len();
         let pages = (total as u64).div_ceil(self.page_bytes as u64).max(1);
-        for i in 0..pages {
-            self.disk.write(self.file, self.next_page + i);
-        }
+        // One vectored write for the whole tail: a log force is a single
+        // seek to the log head plus sequential pages, and stays that way
+        // even while shard traffic shares the device.
+        self.disk.write_run(self.file, self.next_page, self.next_page + pages - 1);
         // All but the last page are full and permanently sealed; the tail
         // page's content stays buffered so the next commit rewrites it.
         self.next_page += pages - 1;

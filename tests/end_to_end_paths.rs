@@ -10,8 +10,8 @@ use cm_storage::{DiskSim, Value};
 fn assert_paths_agree(table: &Table, disk: &std::sync::Arc<DiskSim>, sec: usize, cm: usize, q: &Query) {
     let ctx = ExecContext::cold(disk);
     let truth = table.exec_full_scan(&ctx, q).matched;
-    assert_eq!(table.exec_secondary_sorted(&ctx, sec, q).matched, truth, "{q:?}");
-    assert_eq!(table.exec_secondary_pipelined(&ctx, sec, q).matched, truth, "{q:?}");
+    assert_eq!(table.exec_secondary_sorted(&ctx, sec, q).unwrap().matched, truth, "{q:?}");
+    assert_eq!(table.exec_secondary_pipelined(&ctx, sec, q).unwrap().matched, truth, "{q:?}");
     assert_eq!(table.exec_cm_scan(&ctx, cm, q).matched, truth, "{q:?}");
 }
 
@@ -69,8 +69,8 @@ fn tpch_shipdate_queries_agree_and_order_correctly() {
 
     // Ordering: correlated sorted scan beats pipelined by a wide margin.
     let ctx = ExecContext::cold(&disk);
-    let sorted = t.exec_secondary_sorted(&ctx, sec, &q);
-    let pipelined = t.exec_secondary_pipelined(&ctx, sec, &q);
+    let sorted = t.exec_secondary_sorted(&ctx, sec, &q).unwrap();
+    let pipelined = t.exec_secondary_pipelined(&ctx, sec, &q).unwrap();
     // Postings come back rid-ascending per value, so even the pipelined
     // path gets some short-skip locality; the sorted scan still wins
     // clearly by merging across values.
@@ -103,7 +103,7 @@ fn sdss_composite_cm_agrees_and_wins() {
     let ctx = ExecContext::cold(&disk);
     let truth = t.exec_full_scan(&ctx, &q).matched;
     assert!(truth > 0, "query selects something");
-    assert_eq!(t.exec_secondary_sorted(&ctx, bt, &q).matched, truth);
+    assert_eq!(t.exec_secondary_sorted(&ctx, bt, &q).unwrap().matched, truth);
     assert_eq!(t.exec_cm_scan(&ctx, cm_pair, &q).matched, truth);
     assert_eq!(t.exec_cm_scan(&ctx, cm_ra, &q).matched, truth);
 
@@ -111,7 +111,7 @@ fn sdss_composite_cm_agrees_and_wins() {
     // and the composite B+Tree on this two-range query.
     let r_pair = t.exec_cm_scan(&ctx, cm_pair, &q);
     let r_ra = t.exec_cm_scan(&ctx, cm_ra, &q);
-    let r_bt = t.exec_secondary_sorted(&ctx, bt, &q);
+    let r_bt = t.exec_secondary_sorted(&ctx, bt, &q).unwrap();
     assert!(r_pair.ms() < r_ra.ms(), "pair {} vs ra {}", r_pair.ms(), r_ra.ms());
     assert!(r_pair.ms() < r_bt.ms(), "pair {} vs btree {}", r_pair.ms(), r_bt.ms());
     // The fine-bucketed pair CM is smaller than the dense index even at

@@ -139,6 +139,46 @@ fn engine_sharded_smoke() {
 }
 
 #[test]
+fn run_io_smoke() {
+    let r = experiments::run_io::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 6, "three access paths x two session counts");
+    let json = r.to_json();
+    assert!(json.contains("\"id\":\"run_io\""));
+
+    let cell = |label: &str, idx: usize| -> f64 {
+        r.rows
+            .iter()
+            .find(|row| row.label == label)
+            .unwrap_or_else(|| panic!("row {label} present"))
+            .cells[idx]
+            .trim_end_matches('x')
+            .parse()
+            .expect("numeric cell")
+    };
+    // The tentpole claim at smoke scale: under 8 interleaving sessions,
+    // vectored runs keep cold CM / sorted sweeps >= 2x cheaper per query
+    // than per-page charging, and seeks-per-page drops accordingly.
+    for path in ["cm scan", "secondary sorted"] {
+        let label = format!("{path} x 8 session(s)");
+        let speedup = cell(&label, 3);
+        assert!(speedup >= 2.0, "{label}: speedup {speedup} < 2x");
+        let pp_seeks = cell(&label, 4);
+        let vec_seeks = cell(&label, 5);
+        assert!(
+            vec_seeks < 0.5 * pp_seeks,
+            "{label}: seeks/page {vec_seeks} vs per-page {pp_seeks}"
+        );
+    }
+    // Alone, the two modes price identically: no free lunch.
+    for path in ["full scan", "secondary sorted", "cm scan"] {
+        let label = format!("{path} x 1 session(s)");
+        let speedup = cell(&label, 3);
+        assert!((speedup - 1.0).abs() < 0.01, "{label}: speedup {speedup} != 1x");
+    }
+    check(r, true);
+}
+
+#[test]
 fn fanout_latency_smoke() {
     let r = experiments::fanout_latency::run(BenchScale::Smoke);
     assert_eq!(r.rows.len(), 12, "three shard counts x four worker counts");

@@ -33,7 +33,7 @@ fn queries_stay_correct_across_insert_batches() {
         wal.commit();
         let ctx = ExecContext::cold(&disk);
         let truth = t.exec_full_scan(&ctx, &q).matched;
-        assert_eq!(t.exec_secondary_sorted(&ctx, sec, &q).matched, truth, "batch {batch_no}");
+        assert_eq!(t.exec_secondary_sorted(&ctx, sec, &q).unwrap().matched, truth, "batch {batch_no}");
         assert_eq!(t.exec_cm_scan(&ctx, cm, &q).matched, truth, "batch {batch_no}");
     }
 }
@@ -55,7 +55,7 @@ fn deletes_retract_from_every_structure() {
     }
     let truth = t.exec_full_scan(&ctx, &q).matched;
     assert_eq!(before - victims.len() as u64, truth);
-    assert_eq!(t.exec_secondary_sorted(&ctx, sec, &q).matched, truth);
+    assert_eq!(t.exec_secondary_sorted(&ctx, sec, &q).unwrap().matched, truth);
     assert_eq!(t.exec_cm_scan(&ctx, cm, &q).matched, truth);
 }
 
