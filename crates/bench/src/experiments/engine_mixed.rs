@@ -94,6 +94,7 @@ fn workload(data: &mut EbayData, scale: BenchScale) -> MixedWorkloadConfig {
         threads: 4,
         commit_every: 32,
         seed: 0xE61E,
+        advise_after: None,
     }
 }
 

@@ -82,6 +82,7 @@ fn workload(data: &mut EbayData, scale: BenchScale, read_fraction: f64) -> Mixed
         threads: THREADS,
         commit_every: 16,
         seed: 0x5A4D,
+        advise_after: None,
     }
 }
 

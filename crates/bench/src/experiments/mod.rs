@@ -4,6 +4,7 @@
 //! them at [`crate::datasets::BenchScale::Smoke`].
 
 pub mod ablation_equidepth;
+pub mod advisor_mix;
 pub mod engine_mixed;
 pub mod engine_sharded;
 pub mod fanout_latency;
@@ -44,5 +45,6 @@ pub fn run_all(scale: BenchScale) -> Vec<Report> {
         engine_sharded::run(scale),
         fanout_latency::run(scale),
         run_io::run(scale),
+        advisor_mix::run(scale),
     ]
 }

@@ -25,9 +25,13 @@ use crate::executor::{scheduled_makespan, Executor};
 use crate::session::Session;
 use crate::shard::{partition_rows, RangeRouter};
 use crate::Result;
+use cm_advisor::{
+    recommend_for_workload, DesignSet, Structure, WorkloadAdvisorConfig, WorkloadProfile,
+    WorkloadRecommendation,
+};
 use cm_core::CmSpec;
 use cm_query::{
-    restrict_to_shard, AccessPath, ExecContext, PlanChoice, Planner, Query, QueryPlan,
+    restrict_to_shard, AccessPath, ExecContext, PlanChoice, Planner, PredOp, Query, QueryPlan,
     RunResult, ShardLeg, Table,
 };
 use cm_storage::{
@@ -58,6 +62,9 @@ pub struct EngineConfig {
     pub workers: usize,
     /// WAL group-commit batching knobs.
     pub group_commit: GroupCommitConfig,
+    /// Workload-aware design-advisor knobs ([`Engine::advise_design`]
+    /// uses these defaults; `advise_design_with` overrides per call).
+    pub advisor: WorkloadAdvisorConfig,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +75,7 @@ impl Default for EngineConfig {
             shards: 1,
             workers: 1,
             group_commit: GroupCommitConfig::default(),
+            advisor: WorkloadAdvisorConfig::default(),
         }
     }
 }
@@ -82,7 +90,14 @@ struct TableEntry {
     /// `None` until [`Engine::load`] runs. Queries take this read lock
     /// plus per-partition locks, so readers on different shards (and
     /// writers on different shards) proceed in parallel.
+    /// [`Engine::apply_design`] takes it **exclusively**, so a design
+    /// switch never interleaves with an in-flight query's plan/execute
+    /// phases.
     loaded: RwLock<Option<LoadedTable>>,
+    /// Online workload profile: per-column read traffic plus the write
+    /// count, recorded by every execute/insert/delete and harvested by
+    /// [`Engine::advise_design`].
+    profile: parking_lot::Mutex<WorkloadProfile>,
 }
 
 /// The loaded state: contiguous clustered-key partitions, one per
@@ -211,9 +226,22 @@ pub struct TableInfo {
     pub cms: usize,
 }
 
+/// What [`Engine::apply_design`] changed (per shard; every shard gets
+/// the same set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedDesign {
+    /// Secondary B+Trees built.
+    pub btrees: usize,
+    /// Correlation Maps built.
+    pub cms: usize,
+    /// Pre-existing structures dropped.
+    pub dropped: usize,
+}
+
 /// The concurrent engine facade. Construct with [`Engine::new`], share as
 /// `Arc<Engine>`, open per-connection handles with [`Engine::session`].
 pub struct Engine {
+    config: EngineConfig,
     backends: Vec<StorageShard>,
     log_disk: Arc<DiskSim>,
     wal: GroupCommitWal,
@@ -245,6 +273,7 @@ impl Engine {
         let wal = GroupCommitWal::new(Wal::new(log_disk.clone()), config.group_commit);
         let planner = Planner::new(config.disk);
         Arc::new(Engine {
+            config,
             backends,
             log_disk,
             wal,
@@ -363,6 +392,7 @@ impl Engine {
                 tups_per_page,
                 bucket_target,
                 loaded: RwLock::new(None),
+                profile: parking_lot::Mutex::new(WorkloadProfile::new()),
             }),
         );
         Ok(())
@@ -478,6 +508,124 @@ impl Engine {
         Ok(())
     }
 
+    // ---- workload-aware design advisor --------------------------------
+
+    /// Snapshot the table's online workload profile (per-column read
+    /// traffic + write count recorded since engine start or the last
+    /// [`Engine::reset_workload_profile`]).
+    pub fn workload_profile(&self, table: &str) -> Result<WorkloadProfile> {
+        Ok(self.entry(table)?.profile.lock().clone())
+    }
+
+    /// Start a fresh profiling window for the table.
+    pub fn reset_workload_profile(&self, table: &str) -> Result<()> {
+        self.entry(table)?.profile.lock().reset();
+        Ok(())
+    }
+
+    /// Recommend the per-column structure set for the table's profiled
+    /// workload, with the engine's configured advisor knobs
+    /// (`EngineConfig::advisor`). See [`Engine::advise_design_with`].
+    pub fn advise_design(&self, table: &str) -> Result<WorkloadRecommendation> {
+        self.advise_design_with(table, &self.config.advisor)
+    }
+
+    /// [`Engine::advise_design`] with explicit knobs: harvest the
+    /// table's [`WorkloadProfile`], refresh statistics for the profiled
+    /// read columns, and run
+    /// [`cm_advisor::recommend_for_workload`] against the largest
+    /// partition's statistics (table-wide row count, engine-wide pool
+    /// budget). Apply the result with [`Engine::apply_design`].
+    pub fn advise_design_with(
+        &self,
+        table: &str,
+        cfg: &WorkloadAdvisorConfig,
+    ) -> Result<WorkloadRecommendation> {
+        let entry = self.entry(table)?;
+        let profile = entry.profile.lock().clone();
+        let arity = entry.schema.arity();
+        let cand: Vec<usize> = profile
+            .cols()
+            .iter()
+            .map(|c| c.col)
+            .filter(|&c| c != entry.clustered_col && c < arity)
+            .collect();
+        drop(entry);
+        if !cand.is_empty() {
+            self.analyze(table, &cand)?;
+        }
+        let entry = self.entry(table)?;
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        let total: u64 = lt.parts.iter().map(|p| p.read().heap().len()).sum();
+        let largest = (0..lt.parts.len())
+            .max_by_key(|&i| lt.parts[i].read().heap().len())
+            .expect("loaded tables have at least one partition");
+        let part = lt.parts[largest].read();
+        Ok(recommend_for_workload(
+            &part,
+            &self.config.disk,
+            total,
+            self.config.pool_pages,
+            &profile,
+            cfg,
+        ))
+    }
+
+    /// Replace the table's secondary access structures with a
+    /// [`DesignSet`] (build/drop per shard): every existing secondary
+    /// B+Tree and CM is dropped, then each column choice builds its
+    /// structure on every shard, and statistics are refreshed so the
+    /// planner can route through the new set immediately.
+    ///
+    /// The table's load lock is taken **exclusively** for the switch, so
+    /// no in-flight query observes a half-applied design — queries
+    /// planned after the switch see only the new structures.
+    pub fn apply_design(&self, table: &str, design: &DesignSet) -> Result<AppliedDesign> {
+        let entry = self.entry(table)?;
+        let arity = entry.schema.arity();
+        if let Some(bad) = design.columns.iter().find(|c| c.col >= arity) {
+            return Err(EngineError::BadColumn { table: entry.name.clone(), col: bad.col });
+        }
+        let analyze: Vec<usize> = design
+            .columns
+            .iter()
+            .filter(|c| c.structure.is_some())
+            .map(|c| c.col)
+            .collect();
+        let loaded = entry.loaded.write();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        let mut applied = AppliedDesign { btrees: 0, cms: 0, dropped: 0 };
+        for (i, part) in lt.parts.iter().enumerate() {
+            let mut t = part.write();
+            if i == 0 {
+                applied.dropped = t.secondaries().len() + t.cms().len();
+            }
+            t.clear_access_structures();
+            for cd in &design.columns {
+                match &cd.structure {
+                    Structure::None => {}
+                    Structure::BTree => {
+                        t.add_secondary(
+                            self.backends[i].disk(),
+                            format!("adv_btree_{}", cd.col),
+                            vec![cd.col],
+                        );
+                        applied.btrees += usize::from(i == 0);
+                    }
+                    Structure::Cm(spec) => {
+                        t.add_cm(format!("adv_cm_{}", cd.col), spec.clone());
+                        applied.cms += usize::from(i == 0);
+                    }
+                }
+            }
+            if !analyze.is_empty() {
+                t.analyze_cols(&analyze);
+            }
+        }
+        Ok(applied)
+    }
+
     /// Names of every table in the catalog (sorted).
     pub fn tables(&self) -> Vec<String> {
         let mut names: Vec<String> = self.catalog.read().keys().cloned().collect();
@@ -489,6 +637,11 @@ impl Engine {
     pub fn table_info(&self, table: &str) -> Result<TableInfo> {
         let entry = self.entry(table)?;
         Ok(Self::entry_info(&entry))
+    }
+
+    /// A table's schema (available as soon as the table is created).
+    pub fn table_schema(&self, table: &str) -> Result<Arc<Schema>> {
+        Ok(self.entry(table)?.schema.clone())
     }
 
     /// Catalog summaries for every table, sorted by name. The catalog
@@ -722,6 +875,46 @@ impl Engine {
         Ok((r, rows))
     }
 
+    /// Record one read query in the table's workload profile: per
+    /// predicated column, the estimated lookup-key count and the hashes
+    /// of the predicated values (the column's hot set). Only range
+    /// predicates need statistics (estimated from shard 0's partition,
+    /// whose read lock is taken lazily and only then, so point-query
+    /// profiling never couples shards); columns without statistics fall
+    /// back to one lookup key.
+    fn profile_read(&self, entry: &TableEntry, lt: &LoadedTable, q: &Query) {
+        let cols = q.predicated_cols();
+        let mut noted: Vec<(usize, f64, Vec<u64>)> = Vec::with_capacity(cols.len());
+        let mut t0 = None;
+        for col in cols {
+            let Some(pred) = q.pred_on(col) else { continue };
+            let (keys, hashes) = match &pred.op {
+                PredOp::Eq(v) => (1.0, vec![WorkloadProfile::hash_value(v)]),
+                PredOp::In(vs) => (
+                    vs.len() as f64,
+                    vs.iter().map(WorkloadProfile::hash_value).collect(),
+                ),
+                PredOp::Between(lo, hi) => {
+                    let t0 = t0.get_or_insert_with(|| lt.parts[0].read());
+                    let keys = Planner::range_fraction(t0, col, lo, hi)
+                        .and_then(|f| {
+                            t0.col_stats(col)
+                                .map(|s| (f * s.corr.distinct_u as f64).max(1.0))
+                        })
+                        .unwrap_or(1.0);
+                    (keys, vec![WorkloadProfile::hash_value(&(lo, hi))])
+                }
+            };
+            noted.push((col, keys, hashes));
+        }
+        drop(t0);
+        let mut profile = entry.profile.lock();
+        profile.note_read();
+        for (col, keys, hashes) in noted {
+            profile.note_pred(col, keys, &hashes);
+        }
+    }
+
     pub(crate) fn execute_inner(
         &self,
         table: &str,
@@ -733,6 +926,7 @@ impl Engine {
         let entry = self.entry(table)?;
         let loaded = entry.loaded.read();
         let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        self.profile_read(&entry, lt, q);
 
         // Plan phase: routing + per-shard path choices, snapshotted.
         let plan = self.plan_query(lt, q, forced);
@@ -823,6 +1017,7 @@ impl Engine {
         };
         self.wal.append_batch(&batch);
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        entry.profile.lock().note_write();
         Ok(Rid::sharded(shard, rid))
     }
 
@@ -843,6 +1038,7 @@ impl Engine {
         };
         self.wal.append_batch(&batch);
         self.deletes.fetch_add(1, Ordering::Relaxed);
+        entry.profile.lock().note_write();
         Ok(row)
     }
 
@@ -921,6 +1117,7 @@ impl Engine {
                 Ok((tagged, batch)) => {
                     self.wal.append_batch(&batch);
                     self.deletes.fetch_add(tagged.len() as u64, Ordering::Relaxed);
+                    entry.profile.lock().note_writes(tagged.len() as u64);
                     victims.extend(tagged);
                 }
                 Err(e) => {
@@ -1527,6 +1724,128 @@ mod tests {
         assert!(engine.log_disk().stats().page_writes > log_before.page_writes);
         // The insert itself touched shard storage, not the log.
         assert!(shard_after_insert[0].pages() > shard_before[0].pages());
+    }
+
+    // ---- workload-aware design advisor -------------------------------
+
+    #[test]
+    fn workload_profile_records_reads_and_writes() {
+        let engine = demo_engine();
+        engine.execute("items", &Query::single(Pred::eq(1, 4217i64))).unwrap();
+        engine.execute("items", &Query::single(Pred::eq(1, 999i64))).unwrap();
+        engine
+            .execute("items", &Query::single(Pred::between(0, 3i64, 9i64)))
+            .unwrap();
+        engine.insert("items", vec![Value::Int(1), Value::Int(1)]).unwrap();
+        let p = engine.workload_profile("items").unwrap();
+        assert_eq!(p.reads, 3);
+        assert_eq!(p.writes, 1);
+        let price = p.col(1).unwrap();
+        assert_eq!(price.reads, 2);
+        assert_eq!(price.distinct_queried() as u64, 2, "two distinct point values");
+        assert!(p.col(0).unwrap().avg_lookup_keys() >= 1.0, "range estimated");
+        engine.reset_workload_profile("items").unwrap();
+        assert_eq!(engine.workload_profile("items").unwrap().ops(), 0);
+    }
+
+    #[test]
+    fn advise_and_apply_roundtrip_with_oracle_equality() {
+        let engine = demo_engine();
+        // Read-mostly traffic on price.
+        for i in 0..50i64 {
+            engine
+                .execute("items", &Query::single(Pred::eq(1, (i % 16) * 321)))
+                .unwrap();
+        }
+        engine.insert("items", vec![Value::Int(1), Value::Int(1)]).unwrap();
+        let rec = engine.advise_design("items").unwrap();
+        assert_eq!(rec.best.columns.len(), 1, "price is the only candidate");
+        assert_eq!(rec.best.columns[0].col, 1);
+        assert!(rec.best.columns[0].structure.is_some(), "hot column earns a structure");
+
+        // Oracle snapshot before the switch.
+        let queries = [
+            Query::single(Pred::eq(1, 321i64)),
+            Query::single(Pred::between(1, 100i64, 3000i64)),
+            Query::default(),
+        ];
+        let before: Vec<Vec<Row>> = queries
+            .iter()
+            .map(|q| {
+                let mut rows =
+                    engine.execute_collect("items", q).unwrap().rows.unwrap();
+                rows.sort();
+                rows
+            })
+            .collect();
+        let applied = engine.apply_design("items", &rec.best).unwrap();
+        assert_eq!(applied.btrees + applied.cms, 1);
+        assert_eq!(applied.dropped, 0);
+        let info = engine.table_info("items").unwrap();
+        assert_eq!(info.secondaries + info.cms, 1);
+        for (q, want) in queries.iter().zip(&before) {
+            let mut rows = engine.execute_collect("items", q).unwrap().rows.unwrap();
+            rows.sort();
+            assert_eq!(&rows, want, "{q:?}");
+        }
+        // Re-applying replaces, not accumulates.
+        let applied = engine.apply_design("items", &rec.best).unwrap();
+        assert_eq!(applied.dropped, 1);
+        let info = engine.table_info("items").unwrap();
+        assert_eq!(info.secondaries + info.cms, 1);
+    }
+
+    #[test]
+    fn apply_design_spans_every_shard() {
+        let engine = sharded_engine(4);
+        for _ in 0..20 {
+            engine.execute("items", &Query::single(Pred::eq(1, 4217i64))).unwrap();
+        }
+        let rec = engine.advise_design("items").unwrap();
+        engine.apply_design("items", &rec.best).unwrap();
+        let expect = rec.best.btrees() + rec.best.cms();
+        engine
+            .with_each_shard("items", |_, t| {
+                assert_eq!(t.secondaries().len() + t.cms().len(), expect);
+            })
+            .unwrap();
+        // Routed queries agree with a freshly-built flat oracle.
+        let q = Query::single(Pred::eq(1, 4217i64));
+        let a = engine.execute_collect("items", &q).unwrap();
+        let flat = demo_engine();
+        let b = flat.execute_collect("items", &q).unwrap();
+        let (mut ra, mut rb) = (a.rows.unwrap(), b.rows.unwrap());
+        ra.sort();
+        rb.sort();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn apply_design_rejects_bad_columns_and_unloaded_tables() {
+        let engine = demo_engine();
+        let design = DesignSet {
+            columns: vec![cm_advisor::ColumnDesign {
+                col: 9,
+                structure: Structure::BTree,
+                cold_read_ms: 0.0,
+                maintenance_ms: 0.0,
+            }],
+            read_ms: 0.0,
+            write_ms: 0.0,
+            total_ms: 0.0,
+            working_set_pages: 0.0,
+            miss_rate: 0.0,
+        };
+        assert!(matches!(
+            engine.apply_design("items", &design),
+            Err(EngineError::BadColumn { col: 9, .. })
+        ));
+        let schema = Arc::new(Schema::new(vec![Column::new("x", ValueType::Int)]));
+        engine.create_table("empty", schema, 0, 10, 10).unwrap();
+        assert!(matches!(
+            engine.advise_design("empty"),
+            Err(EngineError::NotLoaded(_))
+        ));
     }
 
     #[test]

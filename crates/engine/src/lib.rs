@@ -40,7 +40,50 @@
 //!   cold-read mode for cache-flushed experiments;
 //! * a **mixed-workload driver** ([`workload`]): multi-threaded 90/10
 //!   read/write traffic through sessions, reporting throughput, simulated
-//!   I/O, and per-path routing counts.
+//!   I/O, and per-path routing counts;
+//! * a **workload-aware design-advisor loop**: the engine records a
+//!   per-table [`WorkloadProfile`] online (per-column read traffic +
+//!   write count), [`Engine::advise_design`] enumerates mixed
+//!   `{B+Tree, CM, none}` structure sets per column and prices each
+//!   with read costs *plus* per-write maintenance, and
+//!   [`Engine::apply_design`] swaps the table's structure set per shard
+//!   atomically (the driver can re-plan mid-run via
+//!   [`MixedWorkloadConfig::advise_after`]).
+//!
+//! The full loop, runnable:
+//!
+//! ```
+//! use cm_engine::{Engine, EngineConfig};
+//! use cm_query::{Pred, Query};
+//! use cm_storage::{Column, Schema, Value, ValueType};
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let schema = Arc::new(Schema::new(vec![
+//!     Column::new("catid", ValueType::Int),
+//!     Column::new("price", ValueType::Int),
+//! ]));
+//! engine.create_table("items", schema, 0, 20, 100).unwrap();
+//! let rows = (0..4000i64)
+//!     .map(|i| vec![Value::Int(i % 80), Value::Int((i % 80) * 100 + i % 100)])
+//!     .collect();
+//! engine.load("items", rows).unwrap();
+//!
+//! // Read-mostly traffic on price builds the profile...
+//! for i in 0..40i64 {
+//!     engine.execute("items", &Query::single(Pred::eq(1, (i % 8) * 321))).unwrap();
+//! }
+//! engine.insert("items", vec![Value::Int(1), Value::Int(1)]).unwrap();
+//!
+//! // ...the advisor picks a structure for the hot column, the engine
+//! // applies it, and the planner routes through it from then on.
+//! let rec = engine.advise_design("items").unwrap();
+//! assert!(rec.best.columns.iter().any(|c| c.col == 1 && c.structure.is_some()));
+//! let applied = engine.apply_design("items", &rec.best).unwrap();
+//! assert_eq!(applied.btrees + applied.cms, rec.best.btrees() + rec.best.cms());
+//! ```
+//!
+//! Basic catalog + cost-routed execution:
 //!
 //! ```
 //! use cm_engine::{Engine, EngineConfig};
@@ -64,6 +107,8 @@
 //! let _ = Query::default();
 //! ```
 
+#![warn(missing_docs)]
+
 mod engine;
 mod error;
 pub mod executor;
@@ -72,13 +117,20 @@ pub mod shard;
 pub mod workload;
 
 pub use engine::{
-    Engine, EngineConfig, EngineStats, LegOutcome, QueryOutcome, RouteCounts, TableInfo,
+    AppliedDesign, Engine, EngineConfig, EngineStats, LegOutcome, QueryOutcome, RouteCounts,
+    TableInfo,
 };
 pub use error::EngineError;
 pub use executor::{scheduled_makespan, Executor};
 pub use session::{Session, SessionStats};
 pub use shard::{partition_rows, RangeRouter};
-pub use workload::{run_mixed, LatencyStats, MixedWorkloadConfig, WorkloadReport};
+pub use workload::{run_mixed, AdviceOutcome, LatencyStats, MixedWorkloadConfig, WorkloadReport};
+
+// The workload-aware advisor vocabulary, re-exported so engine callers
+// can advise/apply without naming cm-advisor directly.
+pub use cm_advisor::{
+    DesignSet, Structure, WorkloadAdvisorConfig, WorkloadProfile, WorkloadRecommendation,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, EngineError>;

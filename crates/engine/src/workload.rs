@@ -10,6 +10,7 @@
 
 use crate::engine::{Engine, RouteCounts};
 use crate::Result;
+use cm_advisor::DesignSet;
 use cm_query::Query;
 use cm_storage::{makespan_ms, GroupCommitStats, IoStats, PoolStats, Row};
 use rand::rngs::StdRng;
@@ -37,6 +38,26 @@ pub struct MixedWorkloadConfig {
     pub commit_every: usize,
     /// Workload RNG seed (deterministic op mix per thread).
     pub seed: u64,
+    /// Advise mode: after this many completed operations (across all
+    /// threads), the crossing thread harvests the table's workload
+    /// profile, runs [`Engine::advise_design`], and applies the
+    /// recommended set with [`Engine::apply_design`] — a mid-run
+    /// re-plan while the other sessions keep working. `None` disables.
+    pub advise_after: Option<usize>,
+}
+
+/// What a mid-run [`Engine::advise_design`] re-plan did (reported when
+/// [`MixedWorkloadConfig::advise_after`] fired).
+#[derive(Debug, Clone)]
+pub struct AdviceOutcome {
+    /// The operation count at which the re-plan ran.
+    pub at_op: u64,
+    /// The design set the advisor chose and the driver applied.
+    pub design: DesignSet,
+    /// Human-readable set summary (`col:btree col:cm(2^12) ...`).
+    pub label: String,
+    /// Structures dropped by the switch.
+    pub dropped: usize,
 }
 
 /// Per-query latency percentiles over a full sample of simulated
@@ -111,6 +132,8 @@ pub struct WorkloadReport {
     /// Planner routing decisions during the run (one per executed leg,
     /// so multi-shard queries count once per shard they ran on).
     pub routes: RouteCounts,
+    /// The mid-run design re-plan, when `advise_after` fired.
+    pub advice: Option<AdviceOutcome>,
     /// Per-read-query simulated latency percentiles. Each sample is the
     /// query's fan-out makespan ([`crate::QueryOutcome::parallel_ms`]):
     /// on a 1-worker engine that is the serial per-shard sum, with
@@ -151,10 +174,12 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
     let reads_done = AtomicU64::new(0);
     let writes_done = AtomicU64::new(0);
     let matched = AtomicU64::new(0);
+    let ops_done = AtomicU64::new(0);
     let latencies: parking_lot::Mutex<Vec<f64>> =
         parking_lot::Mutex::new(Vec::with_capacity(cfg.ops));
     let first_err: parking_lot::Mutex<Option<crate::EngineError>> =
         parking_lot::Mutex::new(None);
+    let advice: parking_lot::Mutex<Option<AdviceOutcome>> = parking_lot::Mutex::new(None);
 
     let started = Instant::now();
     std::thread::scope(|scope| {
@@ -165,8 +190,10 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
             let reads_done = &reads_done;
             let writes_done = &writes_done;
             let matched = &matched;
+            let ops_done = &ops_done;
             let latencies = &latencies;
             let first_err = &first_err;
+            let advice = &advice;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9E37));
                 let mut since_commit = 0usize;
@@ -204,6 +231,34 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
                         latencies.lock().append(&mut local_lat);
                         first_err.lock().get_or_insert(e);
                         return;
+                    }
+                    // Advise mode: the thread that crosses the threshold
+                    // re-plans the physical design mid-run — profile
+                    // harvest, recommendation, and the structure switch
+                    // all happen while the other sessions keep going.
+                    let done = ops_done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if cfg.advise_after == Some(done as usize) {
+                        let replan = session.engine().advise_design(&cfg.table).and_then(
+                            |rec| {
+                                let applied =
+                                    session.engine().apply_design(&cfg.table, &rec.best)?;
+                                let schema = session.engine().table_schema(&cfg.table)?;
+                                Ok(AdviceOutcome {
+                                    at_op: done,
+                                    label: rec.best.label(&schema),
+                                    design: rec.best,
+                                    dropped: applied.dropped,
+                                })
+                            },
+                        );
+                        match replan {
+                            Ok(outcome) => *advice.lock() = Some(outcome),
+                            Err(e) => {
+                                latencies.lock().append(&mut local_lat);
+                                first_err.lock().get_or_insert(e);
+                                return;
+                            }
+                        }
                     }
                 }
                 if since_commit > 0 {
@@ -245,6 +300,7 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
         pool: engine.pool_totals().since(&pool_before),
         wal: engine.wal_stats().since(&wal_before),
         routes: engine.route_counts().since(&routes_before),
+        advice: advice.into_inner(),
         read_latency,
         wall_ms,
         ops_per_sec: if wall_ms > 0.0 { ops as f64 / (wall_ms / 1000.0) } else { 0.0 },
@@ -305,6 +361,7 @@ mod tests {
             threads,
             commit_every: 16,
             seed: 0xC0FFEE,
+            advise_after: None,
         }
     }
 
@@ -392,6 +449,7 @@ mod tests {
                 threads: 1,
                 commit_every: 16,
                 seed: 7,
+                advise_after: None,
             };
             run_mixed(&engine, &wl).unwrap()
         };
@@ -404,6 +462,58 @@ mod tests {
             par.read_latency.p99_ms,
             seq.read_latency.p99_ms
         );
+    }
+
+    #[test]
+    fn advise_mode_replans_mid_run_and_stays_correct() {
+        // Start with no secondary structures: the profiling prefix
+        // routes scans, then the crossing thread advises and applies a
+        // design mid-run while the other sessions keep operating.
+        let engine = Engine::new(EngineConfig::default());
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("catid", ValueType::Int),
+            Column::new("price", ValueType::Int),
+        ]));
+        engine.create_table("items", schema, 0, 20, 100).unwrap();
+        let rows: Vec<Row> = (0..4000i64)
+            .map(|i| {
+                let cat = i % 80;
+                vec![Value::Int(cat), Value::Int(cat * 100 + (i * 13) % 100)]
+            })
+            .collect();
+        engine.load("items", rows).unwrap();
+
+        let mut wl = workload(0.9, 400, 4);
+        wl.advise_after = Some(100);
+        let report = run_mixed(&engine, &wl).unwrap();
+        assert_eq!(report.ops, 400);
+        let advice = report.advice.expect("re-plan fired");
+        assert_eq!(advice.at_op, 100);
+        assert!(!advice.label.is_empty());
+        assert!(
+            advice.design.columns.iter().any(|c| c.col == 1 && c.structure.is_some()),
+            "the hot price column earned a structure: {advice:?}"
+        );
+        // The applied design is live on the table.
+        let info = engine.table_info("items").unwrap();
+        assert_eq!(
+            info.secondaries + info.cms,
+            advice.design.btrees() + advice.design.cms()
+        );
+        // Results after the mid-run switch agree with a scan oracle.
+        let q = Query::single(Pred::eq(1, 397i64));
+        let routed = engine.execute_collect("items", &q).unwrap();
+        let oracle = engine
+            .execute_via_collect("items", cm_query::AccessPath::FullScan, &q)
+            .unwrap();
+        let (mut a, mut b) = (routed.rows.unwrap(), oracle.rows.unwrap());
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Without the threshold no advice is reported.
+        let engine2 = engine_with_cm();
+        let report2 = run_mixed(&engine2, &workload(0.9, 100, 2)).unwrap();
+        assert!(report2.advice.is_none());
     }
 
     #[test]

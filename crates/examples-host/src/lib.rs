@@ -8,3 +8,8 @@
 //! cargo run --release -p examples-host --example sdss_sky_survey
 //! cargo run --release -p examples-host --example tpch_warehouse
 //! ```
+//!
+//! The crate docs below are the repository README verbatim, so its
+//! Quickstart snippet compiles and runs under `cargo test` as a
+//! doc-test.
+#![doc = include_str!("../../../README.md")]

@@ -1,0 +1,140 @@
+//! Integration: the workload-aware design advisor tracks the read/write
+//! crossover on the eBay schema — B+Tree-heavy sets when reads dominate,
+//! CM-heavy sets when writes dominate — and `Engine::apply_design`
+//! switches structures mid-run without changing query results.
+
+use cm_datagen::ebay::{ebay, EbayConfig, EbayData, COL_CATID};
+use cm_engine::{Engine, EngineConfig, WorkloadRecommendation};
+use cm_query::{AccessPath, Pred, PredOp, Query};
+use std::sync::Arc;
+
+const EBAY_TPP: usize = 90;
+
+fn ebay_data() -> EbayData {
+    // Large enough that the heap dwarfs the pool (the pool-residency
+    // discount is what separates tight B+Tree postings from bucket-
+    // granularity CM reads), small enough for a test.
+    ebay(EbayConfig { categories: 1_200, min_items: 40, max_items: 60, seed: 0xADAB })
+}
+
+fn bare_engine(data: &EbayData) -> Arc<Engine> {
+    let engine = Engine::new(EngineConfig { pool_pages: 256, ..EngineConfig::default() });
+    engine
+        .create_table("items", data.schema.clone(), COL_CATID, EBAY_TPP, (EBAY_TPP * 2) as u64)
+        .unwrap();
+    engine.load("items", data.rows.clone()).unwrap();
+    engine
+}
+
+/// Sixteen point queries on the selective hierarchy levels (CAT4/CAT5).
+fn cat_queries(data: &EbayData) -> Vec<Query> {
+    (0..16)
+        .map(|s| {
+            let mut seed = 31 * s as u64 + 7;
+            loop {
+                let (col, v) = data.random_cat_predicate(seed);
+                if (4..=5).contains(&col) {
+                    return Query::single(Pred { col, op: PredOp::Eq(v) });
+                }
+                seed += 7919;
+            }
+        })
+        .collect()
+}
+
+/// Drive `reads` read queries and `writes` inserts, then advise.
+fn profile_and_advise(
+    engine: &Arc<Engine>,
+    data: &mut EbayData,
+    reads: usize,
+    writes: usize,
+) -> WorkloadRecommendation {
+    let queries = cat_queries(data);
+    for i in 0..reads {
+        engine.execute("items", &queries[i % queries.len()]).unwrap();
+    }
+    for row in data.insert_batch(writes, 0x77) {
+        engine.insert("items", row).unwrap();
+    }
+    engine.commit();
+    engine.advise_design("items").unwrap()
+}
+
+#[test]
+fn read_heavy_mix_recommends_btree_heavy_set() {
+    let mut data = ebay_data();
+    let engine = bare_engine(&data);
+    let rec = profile_and_advise(&engine, &mut data, 450, 50);
+    let schema = engine.table_schema("items").unwrap();
+    assert!(
+        rec.best.btrees() >= 1 && rec.best.btrees() >= rec.best.cms(),
+        "90/10 reads should favor B+Trees: chose {} (top sets:\n{})",
+        rec.best.label(&schema),
+        rec.table(&schema, 5)
+    );
+    // The profile the advisor saw matches what was driven.
+    assert_eq!(rec.profile.reads, 450);
+    assert_eq!(rec.profile.writes, 50);
+    assert!(rec.profile.col(4).is_some() && rec.profile.col(5).is_some());
+}
+
+#[test]
+fn write_heavy_mix_recommends_cm_heavy_set() {
+    let mut data = ebay_data();
+    let engine = bare_engine(&data);
+    let rec = profile_and_advise(&engine, &mut data, 50, 450);
+    let schema = engine.table_schema("items").unwrap();
+    assert_eq!(
+        rec.best.btrees(),
+        0,
+        "10/90 writes cannot afford B+Tree upkeep: chose {} (top sets:\n{})",
+        rec.best.label(&schema),
+        rec.table(&schema, 5)
+    );
+    assert!(
+        rec.best.cms() >= 1,
+        "the hot read columns still earn maintenance-free CMs: {}",
+        rec.best.label(&schema)
+    );
+}
+
+#[test]
+fn apply_design_keeps_results_oracle_equal_across_a_replan() {
+    let mut data = ebay_data();
+    let engine = bare_engine(&data);
+    let queries = cat_queries(&data);
+
+    // Profile a read-heavy prefix, snapshot oracle results.
+    let rec = profile_and_advise(&engine, &mut data, 120, 20);
+    let collect = |q: &Query| -> Vec<Vec<cm_storage::Value>> {
+        let mut rows = engine.execute_collect("items", q).unwrap().rows.unwrap();
+        rows.sort();
+        rows
+    };
+    let before: Vec<_> = queries.iter().take(6).map(collect).collect();
+
+    // Mid-run re-plan: swap the structure set.
+    let applied = engine.apply_design("items", &rec.best).unwrap();
+    assert_eq!(applied.btrees + applied.cms, rec.best.btrees() + rec.best.cms());
+
+    // Cost-routed results are unchanged, and agree with a forced scan.
+    for (q, want) in queries.iter().take(6).zip(&before) {
+        assert_eq!(&collect(q), want, "{q:?}");
+        let mut scanned = engine
+            .execute_via_collect("items", AccessPath::FullScan, q)
+            .unwrap()
+            .rows
+            .unwrap();
+        scanned.sort();
+        assert_eq!(&scanned, want, "{q:?} vs scan oracle");
+    }
+
+    // Writes after the switch maintain the new structures: a fresh row
+    // is visible through the routed path immediately.
+    let row = data.insert_batch(1, 0x99).pop().unwrap();
+    let q = Query::single(Pred { col: 4, op: PredOp::Eq(row[4].clone()) });
+    let before_insert = engine.execute("items", &q).unwrap().run.matched;
+    engine.insert("items", row).unwrap();
+    engine.commit();
+    assert_eq!(engine.execute("items", &q).unwrap().run.matched, before_insert + 1);
+}

@@ -189,6 +189,7 @@ fn concurrent_mixed_workload_stays_consistent() {
             threads: 4,
             commit_every: 20,
             seed: 0xBEEF,
+            advise_after: None,
         },
     )
     .unwrap();
@@ -236,6 +237,7 @@ fn sharded_engine_mixed_workload_matches_oracle() {
             threads: 4,
             commit_every: 20,
             seed: 0xBEEF,
+            advise_after: None,
         },
     )
     .unwrap();

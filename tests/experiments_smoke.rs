@@ -179,6 +179,52 @@ fn run_io_smoke() {
 }
 
 #[test]
+fn advisor_mix_smoke() {
+    let r = experiments::advisor_mix::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 8, "four configurations at two mixes");
+    let ops_per_sim_s = |label: &str| -> f64 {
+        r.rows
+            .iter()
+            .find(|row| row.label == label)
+            .unwrap_or_else(|| panic!("row {label} present"))
+            .cells[2]
+            .parse()
+            .expect("throughput cell is numeric")
+    };
+    for mix in ["90/10", "10/90"] {
+        let btree = ops_per_sim_s(&format!("static 5 B+Trees {mix}"));
+        let cm = ops_per_sim_s(&format!("static 5 CMs {mix}"));
+        let advised = ops_per_sim_s(&format!("advised steady {mix}"));
+        // The advised design must match the best static design for the
+        // mix it profiled (within 10%), without being told the mix.
+        assert!(
+            advised >= 0.9 * btree.max(cm),
+            "{mix}: advised {advised} vs best static {}",
+            btree.max(cm)
+        );
+    }
+    // And beat the wrong-way static design clearly on at least one mix.
+    let margin = |mix: &str| -> f64 {
+        let btree = ops_per_sim_s(&format!("static 5 B+Trees {mix}"));
+        let cm = ops_per_sim_s(&format!("static 5 CMs {mix}"));
+        ops_per_sim_s(&format!("advised steady {mix}")) / btree.min(cm)
+    };
+    assert!(
+        margin("90/10") >= 1.5 || margin("10/90") >= 1.5,
+        "advised beats the wrong-way static somewhere: {} / {}",
+        margin("90/10"),
+        margin("10/90")
+    );
+    // The mid-run re-plan actually fired and chose a design.
+    for row in &r.rows {
+        if row.label.starts_with("advised") {
+            assert!(row.cells[7].contains("CAT"), "design label: {}", row.cells[7]);
+        }
+    }
+    check(r, true);
+}
+
+#[test]
 fn fanout_latency_smoke() {
     let r = experiments::fanout_latency::run(BenchScale::Smoke);
     assert_eq!(r.rows.len(), 12, "three shard counts x four worker counts");
