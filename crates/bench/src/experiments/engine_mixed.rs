@@ -192,8 +192,9 @@ pub fn run(scale: BenchScale) -> Report {
         "simulated-throughput ratio CM/B+Tree: {ratio_read_heavy:.1}x at 90/10, \
          {ratio_write_heavy:.1}x at 10/90 — heavier write traffic moves the advantage \
          to CMs; in the 90/10 run the CM engine cost-routed {} of {} reads through \
-         CM-guided scans",
-        cm_report.routes.cm_scan, cm_report.reads
+         CM-guided scans; workload seed {:#x} (re-run with it for a bit-identical \
+         op sequence)",
+        cm_report.routes.cm_scan, cm_report.reads, cm_report.seed
     );
     report
 }

@@ -16,6 +16,7 @@ pub mod fig7_bucket_sweep;
 pub mod fig8_maintenance;
 pub mod fig9_mixed_workload;
 pub mod fig10_cost_model;
+pub mod recovery;
 pub mod run_io;
 pub mod tab3_clustered_bucketing;
 pub mod tab4_bucketing_candidates;
@@ -46,5 +47,6 @@ pub fn run_all(scale: BenchScale) -> Vec<Report> {
         fanout_latency::run(scale),
         run_io::run(scale),
         advisor_mix::run(scale),
+        recovery::run(scale),
     ]
 }

@@ -135,6 +135,50 @@ impl BucketDirectory {
         self.heap_len = rid.0 + 1;
     }
 
+    /// Rebuild a directory over a *recovered* heap: the first
+    /// `sorted_len` rows were bulk-loaded clustered on `col` (some may
+    /// since have been tombstoned to all-NULL by deletes), and every row
+    /// past that was appended live through
+    /// [`BucketDirectory::note_append`]. The sorted prefix re-runs the
+    /// build algorithm — tolerating tombstones by never closing a bucket
+    /// on a NULL — and the tail replays the append arithmetic, so every
+    /// RID gets a valid, contiguous bucket again.
+    pub fn restore(heap: &HeapFile, col: usize, target: u64, sorted_len: u64) -> Self {
+        assert!(target > 0, "bucket target must be positive");
+        let b = target;
+        let mut starts = Vec::new();
+        let mut in_bucket = 0u64;
+        let mut boundary_value: Option<cm_storage::Value> = None;
+        for (rid, row) in heap.iter().take(sorted_len as usize) {
+            if starts.is_empty() {
+                starts.push(rid.0);
+                in_bucket = 0;
+            }
+            let v = &row[col];
+            if let Some(bv) = &boundary_value {
+                if !v.is_null() && v != bv {
+                    starts.push(rid.0);
+                    in_bucket = 0;
+                    boundary_value = None;
+                }
+            }
+            in_bucket += 1;
+            if in_bucket >= b && boundary_value.is_none() && !v.is_null() {
+                boundary_value = Some(v.clone());
+            }
+        }
+        let mut dir = BucketDirectory {
+            starts,
+            heap_len: sorted_len.min(heap.len()),
+            tups_per_page: heap.tups_per_page(),
+            target: b,
+        };
+        for rid in dir.heap_len..heap.len() {
+            dir.note_append(Rid(rid));
+        }
+        dir
+    }
+
     /// Total rows covered.
     pub fn heap_len(&self) -> u64 {
         self.heap_len
@@ -260,6 +304,48 @@ mod tests {
         let heap = heap_with_keys(&disk, &keys, 30);
         let dir = BucketDirectory::per_page(&heap, 0);
         assert_eq!(dir.num_buckets() as u64, heap.num_pages());
+    }
+
+    #[test]
+    fn restore_matches_build_on_a_pristine_heap() {
+        let disk = DiskSim::with_defaults();
+        let keys: Vec<i64> = (0..300).map(|i| i / 7).collect();
+        let heap = heap_with_keys(&disk, &keys, 10);
+        let built = BucketDirectory::build(&heap, 0, 25);
+        let restored = BucketDirectory::restore(&heap, 0, 25, heap.len());
+        assert_eq!(built.num_buckets(), restored.num_buckets());
+        for (b, range) in built.iter() {
+            assert_eq!(restored.rid_range(b), range);
+        }
+    }
+
+    #[test]
+    fn restore_covers_tombstones_and_appended_tail() {
+        let disk = DiskSim::with_defaults();
+        let keys: Vec<i64> = (0..100).map(|i| i / 4).collect();
+        let mut rows: Vec<Vec<Value>> = keys.iter().map(|&k| vec![Value::Int(k)]).collect();
+        // Tombstone a scattering of the sorted prefix, then grow a tail.
+        for &i in &[3usize, 4, 5, 39, 40, 41, 42, 43, 98] {
+            rows[i] = vec![Value::Null];
+        }
+        for i in 0..30 {
+            rows.push(vec![Value::Int(1000 + i)]);
+        }
+        let schema = Arc::new(Schema::new(vec![Column::new("k", ValueType::Int)]));
+        let heap = HeapFile::bulk_load(&disk, schema, rows, 10).unwrap();
+        let dir = BucketDirectory::restore(&heap, 0, 20, 100);
+        assert_eq!(dir.heap_len(), heap.len());
+        // Every rid has a bucket and ranges tile the heap contiguously.
+        let mut expect_lo = 0;
+        for (b, (lo, hi)) in dir.iter() {
+            assert_eq!(lo, expect_lo, "bucket {b} contiguous");
+            assert!(hi > lo);
+            for r in lo..hi {
+                assert_eq!(dir.bucket_of(Rid(r)), b);
+            }
+            expect_lo = hi;
+        }
+        assert_eq!(expect_lo, heap.len());
     }
 
     #[test]

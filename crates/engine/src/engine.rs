@@ -34,10 +34,11 @@ use cm_query::{
     restrict_to_shard, AccessPath, ExecContext, PlanChoice, Planner, PredOp, Query, QueryPlan,
     RunResult, ShardLeg, Table,
 };
+use crate::recovery::ImageInstall;
 use cm_storage::{
     aggregate_io, aggregate_pool, makespan_ms, BufferPool, DiskConfig, DiskSim,
-    GroupCommitConfig, GroupCommitStats, GroupCommitWal, IoStats, PoolStats, Rid, Row, Schema,
-    StorageShard, Wal, WalBatch,
+    GroupCommitConfig, GroupCommitStats, GroupCommitWal, IoStats, LogPayload, PoolStats,
+    Rid, Row, Schema, StorageShard, Wal, WalBatch, AUTOCOMMIT_TXN,
 };
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -65,6 +66,13 @@ pub struct EngineConfig {
     /// Workload-aware design-advisor knobs ([`Engine::advise_design`]
     /// uses these defaults; `advise_design_with` overrides per call).
     pub advisor: WorkloadAdvisorConfig,
+    /// Appended WAL records between automatic fuzzy checkpoints: when a
+    /// [`Engine::commit`] observes at least this many records since the
+    /// last checkpoint, it runs [`Engine::checkpoint`] before returning
+    /// (skipped if another session's checkpoint is already in flight).
+    /// `0` disables automatic checkpoints (the default; call
+    /// [`Engine::checkpoint`] explicitly).
+    pub checkpoint_every: u64,
 }
 
 impl Default for EngineConfig {
@@ -76,36 +84,43 @@ impl Default for EngineConfig {
             workers: 1,
             group_commit: GroupCommitConfig::default(),
             advisor: WorkloadAdvisorConfig::default(),
+            checkpoint_every: 0,
         }
     }
 }
 
 /// A table definition plus (once loaded) its per-shard partitions.
-struct TableEntry {
-    name: String,
-    schema: Arc<Schema>,
-    clustered_col: usize,
-    tups_per_page: usize,
-    bucket_target: u64,
+pub(crate) struct TableEntry {
+    pub(crate) name: String,
+    pub(crate) schema: Arc<Schema>,
+    pub(crate) clustered_col: usize,
+    pub(crate) tups_per_page: usize,
+    pub(crate) bucket_target: u64,
     /// `None` until [`Engine::load`] runs. Queries take this read lock
     /// plus per-partition locks, so readers on different shards (and
     /// writers on different shards) proceed in parallel.
     /// [`Engine::apply_design`] takes it **exclusively**, so a design
     /// switch never interleaves with an in-flight query's plan/execute
     /// phases.
-    loaded: RwLock<Option<LoadedTable>>,
+    pub(crate) loaded: RwLock<Option<LoadedTable>>,
     /// Online workload profile: per-column read traffic plus the write
     /// count, recorded by every execute/insert/delete and harvested by
     /// [`Engine::advise_design`].
-    profile: parking_lot::Mutex<WorkloadProfile>,
+    pub(crate) profile: parking_lot::Mutex<WorkloadProfile>,
 }
 
 /// The loaded state: contiguous clustered-key partitions, one per
 /// storage shard, plus the routing table over their boundaries.
-struct LoadedTable {
-    router: RangeRouter,
+pub(crate) struct LoadedTable {
+    pub(crate) router: RangeRouter,
     /// `parts[i]` lives on the engine's shard backend `i`.
-    parts: Vec<RwLock<Table>>,
+    pub(crate) parts: Vec<RwLock<Table>>,
+    /// Each partition's heap length right after its bulk build — the
+    /// sorted-prefix length [`Table::restore`] needs to rebuild the
+    /// clustered index and bucket directory from a checkpoint image
+    /// (rows past it arrived through `insert` and are re-learned as
+    /// appends).
+    pub(crate) base_lens: Vec<u64>,
 }
 
 /// Per-access-path routing counters (cumulative since engine start).
@@ -241,13 +256,13 @@ pub struct AppliedDesign {
 /// The concurrent engine facade. Construct with [`Engine::new`], share as
 /// `Arc<Engine>`, open per-connection handles with [`Engine::session`].
 pub struct Engine {
-    config: EngineConfig,
-    backends: Vec<StorageShard>,
-    log_disk: Arc<DiskSim>,
-    wal: GroupCommitWal,
+    pub(crate) config: EngineConfig,
+    pub(crate) backends: Vec<StorageShard>,
+    pub(crate) log_disk: Arc<DiskSim>,
+    pub(crate) wal: GroupCommitWal,
     planner: Planner,
     executor: Executor,
-    catalog: RwLock<HashMap<String, Arc<TableEntry>>>,
+    pub(crate) catalog: RwLock<HashMap<String, Arc<TableEntry>>>,
     queries: AtomicU64,
     inserts: AtomicU64,
     deletes: AtomicU64,
@@ -255,14 +270,45 @@ pub struct Engine {
     route_sorted: AtomicU64,
     route_pipelined: AtomicU64,
     route_cm: AtomicU64,
+    /// Transaction ids handed to sessions (0 is [`AUTOCOMMIT_TXN`]).
+    pub(crate) next_txn: AtomicU64,
+    /// Durable checkpoint images, ascending by install offset. The first
+    /// entry is the base image installed by [`Engine::load`]; each
+    /// completed checkpoint appends one.
+    pub(crate) images: parking_lot::Mutex<Vec<ImageInstall>>,
+    /// Serializes checkpoints ([`Engine::checkpoint`] blocks on it; the
+    /// auto-checkpoint in [`Engine::commit`] skips when it is held).
+    pub(crate) ckpt_lock: parking_lot::Mutex<()>,
+    /// WAL record count at the last image install (drives the
+    /// `checkpoint_every` trigger).
+    pub(crate) ckpt_records: AtomicU64,
 }
 
 impl Engine {
     /// Build an engine with `config.shards` storage shards (each its own
     /// simulated disk + buffer pool), a dedicated log disk, and a
     /// group-commit WAL.
+    ///
+    /// Panics on a configuration [`Engine::try_new`] rejects (more
+    /// shards than a RID's shard tag can address).
     pub fn new(config: EngineConfig) -> Arc<Self> {
-        let shards = config.shards.clamp(1, Rid::MAX_SHARDS);
+        Self::try_new(config).expect("valid engine configuration")
+    }
+
+    /// [`Engine::new`], surfacing configuration errors instead of
+    /// panicking. A shard count above [`Rid::MAX_SHARDS`] is rejected
+    /// with [`EngineError::TooManyShards`]: RIDs carry their shard in a
+    /// fixed-width tag, so a 300-shard engine would silently alias
+    /// shards 256.. onto 0.. — a clamp used to hide exactly that. A
+    /// shard count of 0 still means "one shard" (sequential default).
+    pub fn try_new(config: EngineConfig) -> Result<Arc<Self>> {
+        if config.shards > Rid::MAX_SHARDS {
+            return Err(EngineError::TooManyShards {
+                requested: config.shards,
+                max: Rid::MAX_SHARDS,
+            });
+        }
+        let shards = config.shards.max(1);
         let per_shard_pages = (config.pool_pages / shards).max(1);
         let backends: Vec<StorageShard> = (0..shards)
             .map(|_| StorageShard::new(config.disk, per_shard_pages))
@@ -272,7 +318,7 @@ impl Engine {
         let log_disk = DiskSim::new(config.disk);
         let wal = GroupCommitWal::new(Wal::new(log_disk.clone()), config.group_commit);
         let planner = Planner::new(config.disk);
-        Arc::new(Engine {
+        Ok(Arc::new(Engine {
             config,
             backends,
             log_disk,
@@ -287,7 +333,11 @@ impl Engine {
             route_sorted: AtomicU64::new(0),
             route_pipelined: AtomicU64::new(0),
             route_cm: AtomicU64::new(0),
-        })
+            next_txn: AtomicU64::new(AUTOCOMMIT_TXN + 1),
+            images: parking_lot::Mutex::new(Vec::new()),
+            ckpt_lock: parking_lot::Mutex::new(()),
+            ckpt_records: AtomicU64::new(0),
+        }))
     }
 
     /// Number of storage shards.
@@ -417,6 +467,7 @@ impl Engine {
             "router addresses exactly the partitions built"
         );
         let mut parts = Vec::with_capacity(chunks.len());
+        let mut base_lens = Vec::with_capacity(chunks.len());
         let mut total = 0u64;
         for (i, chunk) in chunks.into_iter().enumerate() {
             let t = Table::build(
@@ -428,9 +479,16 @@ impl Engine {
                 entry.bucket_target,
             )?;
             total += t.heap().len();
+            base_lens.push(t.heap().len());
             parts.push(RwLock::new(t));
         }
-        *loaded = Some(LoadedTable { router, parts });
+        *loaded = Some(LoadedTable { router, parts, base_lens });
+        // The bulk build is not logged record by record, so recovery
+        // starts from an image of the freshly-loaded state; install it
+        // before any logged mutation can land (the load lock is still
+        // released first — the image snapshot re-takes read locks).
+        drop(loaded);
+        self.install_base_image();
         Ok(total)
     }
 
@@ -461,6 +519,7 @@ impl Engine {
             debug_assert!(id.is_none_or(|prev| prev == part_id), "uniform ids across shards");
             id = Some(part_id);
         }
+        self.log_design_change(&entry.name, &lt.parts[0].read());
         Ok(id.expect("loaded tables have at least one partition"))
     }
 
@@ -492,6 +551,7 @@ impl Engine {
             debug_assert!(id.is_none_or(|prev| prev == part_id), "uniform ids across shards");
             id = Some(part_id);
         }
+        self.log_design_change(&entry.name, &lt.parts[0].read());
         Ok(id.expect("loaded tables have at least one partition"))
     }
 
@@ -623,7 +683,21 @@ impl Engine {
                 t.analyze_cols(&analyze);
             }
         }
+        self.log_design_change(&entry.name, &lt.parts[0].read());
         Ok(applied)
+    }
+
+    /// Append a [`LogPayload::DesignChange`] record describing `t`'s
+    /// complete access-structure set (every shard carries the same set),
+    /// so a restart whose checkpoint image predates the change rebuilds
+    /// the structures during redo. Design changes are auto-committed —
+    /// like the DDL itself, they are never rolled back.
+    fn log_design_change(&self, table: &str, t: &Table) {
+        let design = crate::recovery::encode_structures(t);
+        self.wal.log(
+            AUTOCOMMIT_TXN,
+            &LogPayload::DesignChange { table: table.to_string(), design },
+        );
     }
 
     /// Names of every table in the catalog (sorted).
@@ -1001,21 +1075,43 @@ impl Engine {
     /// [`Engine::commit`] to force the log. The returned RID carries the
     /// shard tag.
     pub fn insert(&self, table: &str, row: Row) -> Result<Rid> {
+        self.insert_txn(table, row, AUTOCOMMIT_TXN)
+    }
+
+    /// [`Engine::insert`] tagged with a session transaction id: the
+    /// typed [`LogPayload::Insert`] record carries `txn`, and recovery
+    /// rolls the insert back unless a matching commit record survives
+    /// ([`AUTOCOMMIT_TXN`] is always committed).
+    pub fn insert_txn(&self, table: &str, row: Row, txn: u64) -> Result<Rid> {
         let entry = self.entry(table)?;
         entry.schema.validate(&row).map_err(EngineError::Storage)?;
         let loaded = entry.loaded.read();
         let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
         let shard = lt.router.shard_of_row(&row);
-        // Gather the WAL records into a detached batch while holding
-        // only the shard lock, then replay them onto the shared log in
-        // one short critical section — writers on different shards do
-        // not serialize on the log mutex.
+        // The maintenance volume is gathered into a detached batch, the
+        // typed redo record is appended to it, and the whole batch goes
+        // to the shared log *before the shard lock drops*: a fuzzy
+        // checkpoint snapshots shards under this lock, so every mutation
+        // its image can contain is already in the log, and per-shard
+        // record order always matches mutation order (redo replays a
+        // shard's history exactly as it happened).
         let mut batch = WalBatch::new();
         let rid = {
             let mut t = lt.parts[shard].write();
-            t.insert_row(self.backends[shard].pool(), Some(&mut batch), row)?
+            let redo_row = row.clone();
+            let rid = t.insert_row(self.backends[shard].pool(), Some(&mut batch), row)?;
+            batch.push(
+                txn,
+                &LogPayload::Insert {
+                    table: entry.name.clone(),
+                    shard: shard as u16,
+                    rid: rid.0,
+                    row: redo_row,
+                },
+            );
+            self.wal.append_batch(&batch);
+            rid
         };
-        self.wal.append_batch(&batch);
         self.inserts.fetch_add(1, Ordering::Relaxed);
         entry.profile.lock().note_write();
         Ok(Rid::sharded(shard, rid))
@@ -1024,6 +1120,14 @@ impl Engine {
     /// DELETE one row by (shard-tagged) RID, retracting it from every
     /// access structure on its shard.
     pub fn delete(&self, table: &str, rid: Rid) -> Result<Row> {
+        self.delete_txn(table, rid, AUTOCOMMIT_TXN)
+    }
+
+    /// [`Engine::delete`] tagged with a session transaction id: the
+    /// typed [`LogPayload::Delete`] record carries the before-image of
+    /// the victim row so recovery can undo the delete when `txn` never
+    /// committed.
+    pub fn delete_txn(&self, table: &str, rid: Rid, txn: u64) -> Result<Row> {
         let entry = self.entry(table)?;
         let loaded = entry.loaded.read();
         let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
@@ -1032,25 +1136,41 @@ impl Engine {
             return Err(EngineError::BadRid { table: entry.name.clone(), rid: rid.0 });
         }
         let mut batch = WalBatch::new();
+        // Appended inside the shard lock for the same fuzzy-checkpoint
+        // ordering guarantee as `insert_txn`.
         let row = {
             let mut t = lt.parts[shard].write();
-            t.delete_row(self.backends[shard].pool(), Some(&mut batch), rid.local())?
+            let row = t.delete_row(self.backends[shard].pool(), Some(&mut batch), rid.local())?;
+            batch.push(
+                txn,
+                &LogPayload::Delete {
+                    table: entry.name.clone(),
+                    shard: shard as u16,
+                    rid: rid.local().0,
+                    row: row.clone(),
+                },
+            );
+            self.wal.append_batch(&batch);
+            row
         };
-        self.wal.append_batch(&batch);
         self.deletes.fetch_add(1, Ordering::Relaxed);
         entry.profile.lock().note_write();
         Ok(row)
     }
 
     /// DELETE every row matching `q` on one shard (scan under the shard
-    /// write lock, WAL records gathered into a detached batch): the
-    /// per-shard leg of [`Engine::delete_where`].
+    /// write lock, WAL records gathered into a detached batch and
+    /// appended — with one typed [`LogPayload::DeleteSet`] carrying the
+    /// victims' before-images — before the lock drops): the per-shard
+    /// leg of [`Engine::delete_where`].
     fn delete_where_leg(
         &self,
+        entry: &TableEntry,
         lt: &LoadedTable,
         shard: usize,
         sub: &Query,
-    ) -> Result<(Vec<Rid>, WalBatch)> {
+        txn: u64,
+    ) -> Result<Vec<Rid>> {
         let mut batch = WalBatch::new();
         let mut tagged: Vec<Rid> = Vec::new();
         let mut t = lt.parts[shard].write();
@@ -1071,11 +1191,24 @@ impl Engine {
                 }
             })?;
         }
+        let mut victims_log: Vec<(u64, Row)> = Vec::with_capacity(local.len());
         for &rid in &local {
-            t.delete_row(pool, Some(&mut batch), rid)?;
+            let row = t.delete_row(pool, Some(&mut batch), rid)?;
+            victims_log.push((rid.0, row));
             tagged.push(Rid::sharded(shard, rid));
         }
-        Ok((tagged, batch))
+        if !victims_log.is_empty() {
+            batch.push(
+                txn,
+                &LogPayload::DeleteSet {
+                    table: entry.name.clone(),
+                    shard: shard as u16,
+                    victims: victims_log,
+                },
+            );
+        }
+        self.wal.append_batch(&batch);
+        Ok(tagged)
     }
 
     /// DELETE every row matching `q` (found by a charged scan of the
@@ -1084,6 +1217,13 @@ impl Engine {
     /// pool — each leg holds only its own shard's write lock, so a
     /// multi-shard purge doesn't serialize the scans.
     pub fn delete_where(&self, table: &str, q: &Query) -> Result<Vec<Rid>> {
+        self.delete_where_txn(table, q, AUTOCOMMIT_TXN)
+    }
+
+    /// [`Engine::delete_where`] tagged with a session transaction id:
+    /// each shard leg logs one [`LogPayload::DeleteSet`] record carrying
+    /// its victims' before-images under `txn`.
+    pub fn delete_where_txn(&self, table: &str, q: &Query, txn: u64) -> Result<Vec<Rid>> {
         let entry = self.entry(table)?;
         let loaded = entry.loaded.read();
         let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
@@ -1096,26 +1236,30 @@ impl Engine {
                     .map(|sub| (i, sub))
             })
             .collect();
-        let results: Vec<Result<(Vec<Rid>, WalBatch)>> =
+        let results: Vec<Result<Vec<Rid>>> =
             if legs.len() <= 1 || self.executor.workers() == 1 {
-                legs.iter().map(|(i, sub)| self.delete_where_leg(lt, *i, sub)).collect()
+                legs.iter()
+                    .map(|(i, sub)| self.delete_where_leg(&entry, lt, *i, sub, txn))
+                    .collect()
             } else {
                 self.executor.run(
                     legs.iter()
-                        .map(|(i, sub)| move || self.delete_where_leg(lt, *i, sub))
+                        .map(|(i, sub)| {
+                            let entry = &entry;
+                            move || self.delete_where_leg(entry, lt, *i, sub, txn)
+                        })
                         .collect(),
                 )
             };
         // Merge in shard order. Legs that succeeded have already mutated
-        // their shard, so their WAL batches, counters, and victim RIDs
-        // are recorded even when another leg failed — only then is the
-        // first error surfaced.
+        // their shard and appended their WAL batch, so their counters and
+        // victim RIDs are recorded even when another leg failed — only
+        // then is the first error surfaced.
         let mut victims: Vec<Rid> = Vec::new();
         let mut first_err: Option<EngineError> = None;
         for res in results {
             match res {
-                Ok((tagged, batch)) => {
-                    self.wal.append_batch(&batch);
+                Ok(tagged) => {
                     self.deletes.fetch_add(tagged.len() as u64, Ordering::Relaxed);
                     entry.profile.lock().note_writes(tagged.len() as u64);
                     victims.extend(tagged);
@@ -1133,9 +1277,40 @@ impl Engine {
 
     /// Make every appended WAL record durable (group commit point);
     /// returns the I/O this call charged — zero when a concurrent
-    /// leader's flush covered it.
+    /// leader's flush covered it. May also trigger an automatic fuzzy
+    /// checkpoint when [`EngineConfig::checkpoint_every`] records have
+    /// accumulated since the last one.
     pub fn commit(&self) -> IoStats {
-        self.wal.commit()
+        let io = self.wal.commit();
+        self.maybe_checkpoint();
+        io
+    }
+
+    /// Allocate a fresh transaction id for a session's write batch.
+    /// Ids are never reused; [`AUTOCOMMIT_TXN`] (0) is reserved for
+    /// writes that commit implicitly.
+    pub(crate) fn alloc_txn(&self) -> u64 {
+        self.next_txn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Append a commit record for `txn` (no-op for [`AUTOCOMMIT_TXN`]).
+    /// Durability still requires a subsequent [`Engine::commit`] flush.
+    pub fn log_commit(&self, txn: u64) {
+        if txn != AUTOCOMMIT_TXN {
+            self.wal.log(txn, &LogPayload::Commit);
+        }
+    }
+
+    /// The durable (flushed) prefix of the framed WAL stream — what a
+    /// crash after the last commit would leave behind.
+    pub fn durable_log(&self) -> Vec<u8> {
+        self.wal.durable_log()
+    }
+
+    /// The entire appended WAL stream, including the not-yet-durable
+    /// tail. Crash simulations cut this at arbitrary byte offsets.
+    pub fn appended_log(&self) -> Vec<u8> {
+        self.wal.appended_log()
     }
 
     /// Flush every shard's buffer pool (between-trial cache flushing, as
@@ -1881,5 +2056,247 @@ mod tests {
         assert_eq!(s.inserts, 500);
         assert_eq!(s.total_rows, 5000 + 500);
         assert_eq!(engine.table_infos().len(), 1);
+    }
+
+    #[test]
+    fn too_many_shards_rejected() {
+        let config = EngineConfig { shards: Rid::MAX_SHARDS + 44, ..EngineConfig::default() };
+        match Engine::try_new(config) {
+            Err(EngineError::TooManyShards { requested, max }) => {
+                assert_eq!(requested, Rid::MAX_SHARDS + 44);
+                assert_eq!(max, Rid::MAX_SHARDS);
+            }
+            other => panic!("expected TooManyShards, got {:?}", other.map(|_| ())),
+        }
+        // The boundary itself is fine.
+        let config = EngineConfig { shards: Rid::MAX_SHARDS, ..EngineConfig::default() };
+        assert_eq!(Engine::try_new(config).unwrap().num_shards(), Rid::MAX_SHARDS);
+    }
+
+    /// A full query over the live (non-tombstone) rows of the demo
+    /// table: `Between` on the clustered column excludes all-NULL
+    /// tombstone slots, unlike an empty `Query`.
+    fn all_live() -> Query {
+        Query::single(Pred::between(0, i64::MIN, i64::MAX))
+    }
+
+    fn sorted_rows(engine: &Engine, q: &Query) -> Vec<Row> {
+        let mut rows = engine.execute_collect("items", q).unwrap().rows.unwrap();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn checkpoint_races_an_active_writer_without_losing_updates() {
+        // Satellite: `flush_all` (inside checkpoint) racing an active
+        // writer session must lose no updates and keep stats coherent.
+        let engine = demo_engine_with(EngineConfig { shards: 2, ..EngineConfig::default() });
+        std::thread::scope(|scope| {
+            let writer_engine = engine.clone();
+            scope.spawn(move || {
+                let session = writer_engine.session();
+                for i in 0..300i64 {
+                    session
+                        .insert("items", vec![Value::Int(i % 100), Value::Int(20_000 + i)])
+                        .unwrap();
+                    if i % 25 == 24 {
+                        session.commit();
+                    }
+                }
+                session.commit();
+            });
+            for _ in 0..8 {
+                engine.checkpoint();
+            }
+        });
+        let out = engine
+            .execute("items", &Query::single(Pred::between(1, 20_000i64, 20_299i64)))
+            .unwrap();
+        assert_eq!(out.run.matched, 300, "no writer update lost across checkpoints");
+        let s = engine.stats();
+        assert_eq!(s.inserts, 300);
+        assert_eq!(s.total_rows, 5000 + 300);
+        assert!(engine.checkpoint_count() >= 9, "base image + 8 checkpoints");
+        // After the race quiesces, one flush drains every dirty page and
+        // a second finds nothing left to write.
+        engine.flush_pool();
+        assert_eq!(engine.flush_pool().page_writes, 0, "pools fully clean after quiesce");
+    }
+
+    #[test]
+    fn recovery_replays_committed_work() {
+        let engine = demo_engine();
+        let session = engine.session();
+        for i in 0..40i64 {
+            session.insert("items", vec![Value::Int(i % 100), Value::Int(9000 + i)]).unwrap();
+        }
+        session.delete_where("items", &Query::single(Pred::eq(0, 17i64))).unwrap();
+        session.commit();
+        let expect = sorted_rows(&engine, &all_live());
+
+        let state = engine.crash_state(None);
+        let (recovered, report) =
+            Engine::recover(EngineConfig::default(), &state).unwrap();
+        assert_eq!(sorted_rows(&recovered, &all_live()), expect);
+        assert!(report.redone > 0);
+        assert_eq!(report.undone, 0);
+        assert_eq!(report.committed_txns, 1);
+        assert!(report.sim_ms > 0.0, "recovery I/O is charged");
+        // The recovered engine keeps working: insert + query. Category 1
+        // had 50 loaded rows, one from the pre-crash loop, one now.
+        recovered.insert("items", vec![Value::Int(1), Value::Int(1)]).unwrap();
+        let out = recovered.execute("items", &Query::single(Pred::eq(0, 1i64))).unwrap();
+        assert_eq!(out.run.matched, 52);
+    }
+
+    #[test]
+    fn recovery_rolls_back_the_uncommitted_tail() {
+        let engine = demo_engine();
+        let committed = engine.session();
+        committed.insert("items", vec![Value::Int(3), Value::Int(333_333)]).unwrap();
+        committed.commit();
+        let expect = sorted_rows(&engine, &all_live());
+
+        // A second session writes — including deletes — but never commits.
+        let doomed = engine.session();
+        doomed.insert("items", vec![Value::Int(5), Value::Int(555_555)]).unwrap();
+        doomed.delete_where("items", &Query::single(Pred::eq(0, 42i64))).unwrap();
+        assert!(doomed.txn_id().is_some());
+
+        // Crash with the whole log surviving: commit records decide, not
+        // flush timing.
+        let state = engine.crash_state(Some(engine.appended_log().len() as u64));
+        let (recovered, report) =
+            Engine::recover(EngineConfig::default(), &state).unwrap();
+        assert_eq!(
+            sorted_rows(&recovered, &all_live()),
+            expect,
+            "uncommitted insert gone, uncommitted deletes reinstated"
+        );
+        assert_eq!(report.uncommitted_txns, 1);
+        assert!(report.undone > 0);
+    }
+
+    #[test]
+    fn torn_log_tail_is_detected_and_truncated() {
+        let engine = demo_engine();
+        let session = engine.session();
+        session.insert("items", vec![Value::Int(8), Value::Int(800_800)]).unwrap();
+        session.commit();
+        let full = engine.appended_log().len() as u64;
+        // Cut mid-frame: 3 bytes short of the end rips the last frame.
+        let state = engine.crash_state(Some(full - 3));
+        assert_eq!(state.log.len() as u64, full - 3);
+        let (recovered, report) =
+            Engine::recover(EngineConfig::default(), &state).unwrap();
+        assert!(report.torn, "mid-frame cut is detected by checksum");
+        assert!(report.valid_bytes < report.log_bytes);
+        // The recovered engine still answers queries consistently.
+        let rows = sorted_rows(&recovered, &all_live());
+        assert!(rows.len() >= 5000 - 1);
+    }
+
+    #[test]
+    fn checkpoints_advance_the_redo_point() {
+        let engine = demo_engine();
+        let session = engine.session();
+        for i in 0..30i64 {
+            session.insert("items", vec![Value::Int(i % 100), Value::Int(100 + i)]).unwrap();
+        }
+        session.commit();
+        let no_ckpt = engine.crash_state(None);
+        engine.checkpoint();
+        for i in 0..5i64 {
+            session.insert("items", vec![Value::Int(i), Value::Int(200 + i)]).unwrap();
+        }
+        session.commit();
+        let with_ckpt = engine.crash_state(None);
+        assert!(with_ckpt.redo_lsn > no_ckpt.redo_lsn, "checkpoint advanced redo");
+
+        let (_, rep_no) = Engine::recover(EngineConfig::default(), &no_ckpt).unwrap();
+        let (eng_ck, rep_ck) = Engine::recover(EngineConfig::default(), &with_ckpt).unwrap();
+        assert!(
+            rep_ck.redone <= rep_no.redone + 5,
+            "the checkpoint absorbed the pre-checkpoint mutations ({} vs {})",
+            rep_ck.redone,
+            rep_no.redone
+        );
+        let out = eng_ck.execute("items", &Query::single(Pred::between(1, 200i64, 204i64)));
+        assert_eq!(out.unwrap().run.matched, 5);
+    }
+
+    #[test]
+    fn automatic_checkpoints_fire_on_commit() {
+        let engine =
+            demo_engine_with(EngineConfig { checkpoint_every: 20, ..EngineConfig::default() });
+        let base_images = engine.checkpoint_count();
+        let session = engine.session();
+        for i in 0..60i64 {
+            session.insert("items", vec![Value::Int(i % 100), Value::Int(i)]).unwrap();
+            if i % 10 == 9 {
+                session.commit();
+            }
+        }
+        assert!(
+            engine.checkpoint_count() > base_images,
+            "commits past the record threshold checkpointed automatically"
+        );
+    }
+
+    #[test]
+    fn design_changes_survive_recovery() {
+        let engine = demo_engine();
+        engine.create_btree("items", "price_ix", vec![1]).unwrap();
+        engine.create_cm("items", "price_cm", CmSpec::single_raw(1)).unwrap();
+        engine.commit();
+        let state = engine.crash_state(None);
+        let (recovered, _) = Engine::recover(EngineConfig::default(), &state).unwrap();
+        let info = recovered.table_info("items").unwrap();
+        assert_eq!(info.secondaries, 1, "B+Tree rebuilt from the design record");
+        assert_eq!(info.cms, 1, "CM rebuilt from the design record");
+        // The rebuilt structures are queryable.
+        let out = recovered
+            .execute_via(
+                "items",
+                AccessPath::SecondaryPipelined(0),
+                &Query::single(Pred::eq(1, 4217i64)),
+            )
+            .unwrap();
+        let direct = engine
+            .execute_via(
+                "items",
+                AccessPath::SecondaryPipelined(0),
+                &Query::single(Pred::eq(1, 4217i64)),
+            )
+            .unwrap();
+        assert_eq!(out.run.matched, direct.run.matched);
+    }
+
+    #[test]
+    fn sharded_recovery_restores_routing() {
+        let engine = demo_engine_with(EngineConfig { shards: 4, ..EngineConfig::default() });
+        let session = engine.session();
+        for i in 0..40i64 {
+            session.insert("items", vec![Value::Int(i % 100), Value::Int(4000 + i)]).unwrap();
+        }
+        session.delete_where("items", &Query::single(Pred::eq(0, 66i64))).unwrap();
+        session.commit();
+        let expect = sorted_rows(&engine, &all_live());
+        let state = engine.crash_state(None);
+        let (recovered, _) = Engine::recover(
+            EngineConfig { shards: 4, ..EngineConfig::default() },
+            &state,
+        )
+        .unwrap();
+        assert_eq!(recovered.num_shards(), 4);
+        assert_eq!(sorted_rows(&recovered, &all_live()), expect);
+        // Point queries still route to a single shard.
+        let out = recovered.execute("items", &Query::single(Pred::eq(0, 10i64))).unwrap();
+        assert_eq!(out.shards.len(), 1);
+        // An image spanning more shards than the new engine is rejected.
+        assert!(matches!(
+            Engine::recover(EngineConfig::default(), &state),
+            Err(EngineError::Recovery(_))
+        ));
     }
 }

@@ -38,6 +38,17 @@ pub enum EngineError {
     /// The operation requires a single-shard table but this table is
     /// partitioned (use the per-shard accessors instead).
     ShardedTable(String),
+    /// The configuration asks for more storage shards than a RID's shard
+    /// tag can address (the high bits of [`cm_storage::Rid`]).
+    TooManyShards {
+        /// Shards the configuration requested.
+        requested: usize,
+        /// The addressable maximum ([`cm_storage::Rid::MAX_SHARDS`]).
+        max: usize,
+    },
+    /// Crash recovery could not reconstruct a consistent state from the
+    /// checkpoint image and surviving log prefix.
+    Recovery(String),
 }
 
 impl fmt::Display for EngineError {
@@ -58,6 +69,10 @@ impl fmt::Display for EngineError {
             EngineError::ShardedTable(t) => {
                 write!(f, "table {t:?} is sharded; use a per-shard accessor")
             }
+            EngineError::TooManyShards { requested, max } => {
+                write!(f, "{requested} shards exceed the RID-addressable maximum of {max}")
+            }
+            EngineError::Recovery(why) => write!(f, "recovery failed: {why}"),
         }
     }
 }

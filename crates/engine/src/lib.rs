@@ -112,6 +112,7 @@
 mod engine;
 mod error;
 pub mod executor;
+pub mod recovery;
 mod session;
 pub mod shard;
 pub mod workload;
@@ -122,6 +123,7 @@ pub use engine::{
 };
 pub use error::EngineError;
 pub use executor::{scheduled_makespan, Executor};
+pub use recovery::{CrashState, DurableImage, RecoveryReport, ShardImage, TableImage};
 pub use session::{Session, SessionStats};
 pub use shard::{partition_rows, RangeRouter};
 pub use workload::{run_mixed, AdviceOutcome, LatencyStats, MixedWorkloadConfig, WorkloadReport};

@@ -29,6 +29,10 @@ pub struct SessionStats {
 pub struct Session {
     engine: Arc<Engine>,
     cold_reads: bool,
+    /// The open transaction's id, or 0 ([`cm_storage::AUTOCOMMIT_TXN`])
+    /// when no write has happened since the last commit. Allocated
+    /// lazily by the first write so read-only sessions never burn ids.
+    txn: AtomicU64,
     queries: AtomicU64,
     inserts: AtomicU64,
     deletes: AtomicU64,
@@ -39,10 +43,32 @@ impl Session {
         Session {
             engine,
             cold_reads: false,
+            txn: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
         }
+    }
+
+    /// The transaction id tagging this session's WAL records since its
+    /// last commit, if a write has opened one. Recovery rolls these
+    /// records back unless the commit record made it to the log.
+    pub fn txn_id(&self) -> Option<u64> {
+        match self.txn.load(Ordering::Relaxed) {
+            0 => None,
+            t => Some(t),
+        }
+    }
+
+    /// The open transaction's id, allocating one on the first write.
+    fn write_txn(&self) -> u64 {
+        let t = self.txn.load(Ordering::Relaxed);
+        if t != 0 {
+            return t;
+        }
+        let fresh = self.engine.alloc_txn();
+        self.txn.store(fresh, Ordering::Relaxed);
+        fresh
     }
 
     /// The underlying engine.
@@ -91,9 +117,9 @@ impl Session {
         self.engine.explain(table, q)
     }
 
-    /// INSERT one row.
+    /// INSERT one row (logged under this session's open transaction).
     pub fn insert(&self, table: &str, row: Row) -> Result<Rid> {
-        let r = self.engine.insert(table, row);
+        let r = self.engine.insert_txn(table, row, self.write_txn());
         if r.is_ok() {
             self.inserts.fetch_add(1, Ordering::Relaxed);
         }
@@ -106,22 +132,24 @@ impl Session {
         for row in rows {
             rids.push(self.insert(table, row)?);
         }
-        self.engine.commit();
+        self.commit();
         Ok(rids)
     }
 
-    /// DELETE one row by RID.
+    /// DELETE one row by RID (logged under this session's open
+    /// transaction).
     pub fn delete(&self, table: &str, rid: Rid) -> Result<Row> {
-        let r = self.engine.delete(table, rid);
+        let r = self.engine.delete_txn(table, rid, self.write_txn());
         if r.is_ok() {
             self.deletes.fetch_add(1, Ordering::Relaxed);
         }
         r
     }
 
-    /// DELETE every row matching `q`.
+    /// DELETE every row matching `q` (logged under this session's open
+    /// transaction).
     pub fn delete_where(&self, table: &str, q: &Query) -> Result<Vec<Rid>> {
-        let victims = self.engine.delete_where(table, q)?;
+        let victims = self.engine.delete_where_txn(table, q, self.write_txn())?;
         self.deletes.fetch_add(victims.len() as u64, Ordering::Relaxed);
         Ok(victims)
     }
@@ -141,8 +169,14 @@ impl Session {
         self.engine.create_btree(table, name, cols)
     }
 
-    /// Force the engine WAL (commit point for this session's writes).
+    /// Commit this session's open transaction: append its commit record
+    /// (making its writes survive recovery) and force the engine WAL.
+    /// The next write opens a fresh transaction.
     pub fn commit(&self) -> IoStats {
+        let t = self.txn.swap(0, Ordering::Relaxed);
+        if t != 0 {
+            self.engine.log_commit(t);
+        }
         self.engine.commit()
     }
 

@@ -35,6 +35,12 @@ impl RangeRouter {
         self.col
     }
 
+    /// The split keys (shard `i+1`'s smallest owned key) — enough to
+    /// reconstruct the router, e.g. from a checkpoint image.
+    pub fn splits(&self) -> &[Value] {
+        &self.splits
+    }
+
     /// Number of shards this router addresses.
     pub fn num_shards(&self) -> usize {
         self.splits.len() + 1

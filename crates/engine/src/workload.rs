@@ -150,6 +150,9 @@ pub struct WorkloadReport {
     /// parallel (makespan time) — the aggregate-throughput figure for a
     /// sharded engine.
     pub ops_per_sim_sec_parallel: f64,
+    /// The RNG seed the run used ([`MixedWorkloadConfig::seed`]) —
+    /// reported so a bench line can be re-run bit-identically.
+    pub seed: u64,
 }
 
 /// Run a mixed workload against `engine`; blocks until every op is done.
@@ -314,6 +317,7 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
         } else {
             0.0
         },
+        seed: cfg.seed,
     })
 }
 

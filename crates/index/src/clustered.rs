@@ -46,6 +46,44 @@ impl ClusteredIndex {
         ClusteredIndex { col, tree, file, heap_len: heap.len() }
     }
 
+    /// Rebuild over a *recovered* heap: the first `sorted_len` rows were
+    /// loaded clustered on `col` (deletes may since have tombstoned some
+    /// to all-NULL), and the rest were appended live. The non-NULL
+    /// subsequence of a sorted prefix is still sorted, so the prefix
+    /// indexes the first surviving RID of each distinct value; tail rows
+    /// replay the [`ClusteredIndex::note_append`] rule. Runs that lost
+    /// their first rows start at the nearest surviving tombstone-free
+    /// RID — scans may cover a few extra tombstoned slots, which match
+    /// no predicate, so query answers are unchanged.
+    pub fn restore(
+        heap: &HeapFile,
+        col: usize,
+        sorted_len: u64,
+        file: FileId,
+        order: usize,
+    ) -> Self {
+        let mut tree = BPlusTree::new(order);
+        let mut last: Option<Value> = None;
+        for (rid, row) in heap.iter().take(sorted_len as usize) {
+            let v = &row[col];
+            if v.is_null() {
+                continue;
+            }
+            match &last {
+                Some(prev) if prev == v => {}
+                _ => {
+                    tree.insert(v.clone(), rid.0);
+                    last = Some(v.clone());
+                }
+            }
+        }
+        let mut idx = ClusteredIndex { col, tree, file, heap_len: sorted_len.min(heap.len()) };
+        for (rid, row) in heap.iter().skip(sorted_len as usize) {
+            idx.note_append(&row[col], rid);
+        }
+        idx
+    }
+
     /// The clustered column position.
     pub fn col(&self) -> usize {
         self.col
@@ -69,10 +107,12 @@ impl ClusteredIndex {
     /// Record that the heap grew (appends during maintenance workloads).
     /// New distinct values at the tail are indexed; re-appearing values
     /// keep their original first-RID (the tail breaks clustering, exactly
-    /// as appends to a once-`CLUSTER`ed PostgreSQL table do).
+    /// as appends to a once-`CLUSTER`ed PostgreSQL table do). NULLs bump
+    /// the length without being indexed — recovery appends all-NULL
+    /// placeholders for rows that were deleted before the crash.
     pub fn note_append(&mut self, value: &Value, rid: Rid) {
         self.heap_len = self.heap_len.max(rid.0 + 1);
-        if self.tree.get(value).is_none() {
+        if !value.is_null() && self.tree.get(value).is_none() {
             self.tree.insert(value.clone(), rid.0);
         }
     }
@@ -259,6 +299,50 @@ mod tests {
         assert_eq!(
             idx.rid_range_uncharged(&Value::str("MA"), &Value::str("MA")).unwrap().0,
             0
+        );
+    }
+
+    #[test]
+    fn restore_tolerates_tombstones_and_tail() {
+        let disk = DiskSim::with_defaults();
+        let schema = Arc::new(Schema::new(vec![Column::new("k", ValueType::Str)]));
+        // Sorted prefix with the whole MN run and the first NH row
+        // tombstoned, plus a live tail.
+        let mut rows: Vec<Vec<Value>> = [
+            "MA", "MA", "MA", "MN", "MN", "NH", "NH", "NH", "NH", "OH",
+        ]
+        .iter()
+        .map(|s| vec![Value::str(*s)])
+        .collect();
+        rows[3] = vec![Value::Null];
+        rows[4] = vec![Value::Null];
+        rows[5] = vec![Value::Null];
+        rows.push(vec![Value::str("TX")]);
+        rows.push(vec![Value::Null]); // deleted tail row
+        let heap = HeapFile::bulk_load(&disk, schema, rows, 4).unwrap();
+        let idx = ClusteredIndex::restore(&heap, 0, 10, disk.alloc_file(), 4);
+        // MA unchanged; NH starts at its first *surviving* row; the NULL
+        // rows are never indexed; the tail value is.
+        assert_eq!(idx.rid_range_uncharged(&Value::str("MA"), &Value::str("MA")), Some((0, 6)));
+        assert_eq!(idx.rid_range_uncharged(&Value::str("NH"), &Value::str("NH")), Some((6, 9)));
+        assert_eq!(idx.rid_range_uncharged(&Value::str("TX"), &Value::str("TX")), Some((10, 12)));
+        assert_eq!(idx.distinct_values(), 4, "MA NH OH TX");
+        assert_eq!(idx.rid_range_uncharged(&Value::Null, &Value::Null), None);
+    }
+
+    #[test]
+    fn null_appends_grow_length_without_indexing() {
+        let disk = DiskSim::with_defaults();
+        let heap = clustered_heap(&disk);
+        let mut idx = ClusteredIndex::build(&heap, 0, disk.alloc_file(), 4);
+        let distinct = idx.distinct_values();
+        idx.note_append(&Value::Null, Rid(10));
+        assert_eq!(idx.distinct_values(), distinct);
+        // The heap end moved: the last run now extends over the
+        // placeholder, which holds no matching rows.
+        assert_eq!(
+            idx.rid_range_uncharged(&Value::str("OH"), &Value::str("OH")),
+            Some((9, 11))
         );
     }
 

@@ -10,6 +10,7 @@
 //! combined tail while the followers are absorbed for free.
 
 use crate::disk::IoStats;
+use crate::logrec::{LogPayload, Lsn};
 use crate::wal::Wal;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -119,7 +120,7 @@ impl GroupCommitWal {
     /// path: writers log their records inside one such critical
     /// section). The commit horizon advances when `f` returns. Prefer
     /// [`GroupCommitWal::append_batch`] for maintenance work: gather the
-    /// record sizes outside the lock, then replay them here in one
+    /// encoded frames outside the lock, then append them here in one
     /// short critical section.
     pub fn with_wal<R>(&self, f: impl FnOnce(&mut Wal) -> R) -> R {
         let mut wal = self.wal.lock();
@@ -128,13 +129,18 @@ impl GroupCommitWal {
         out
     }
 
-    /// Append a batch of record sizes gathered off-lock (see
+    /// Append a batch of records gathered off-lock (see
     /// [`crate::WalBatch`]); the log lock is held only for the appends.
     pub fn append_batch(&self, batch: &crate::WalBatch) {
         if batch.is_empty() {
             return;
         }
-        self.with_wal(|w| batch.replay(w));
+        self.with_wal(|w| batch.append_into(w));
+    }
+
+    /// Append one typed record and return its LSN.
+    pub fn log(&self, txn: u64, payload: &LogPayload) -> Lsn {
+        self.with_wal(|w| w.log(txn, payload))
     }
 
     /// Records appended since creation.
@@ -145,6 +151,23 @@ impl GroupCommitWal {
     /// Bytes made durable so far.
     pub fn durable_bytes(&self) -> u64 {
         self.wal.lock().durable_bytes()
+    }
+
+    /// Bytes appended so far (durable or not).
+    pub fn appended_bytes(&self) -> u64 {
+        self.wal.lock().appended_bytes()
+    }
+
+    /// The durable prefix of the framed record stream (see
+    /// [`Wal::durable_log`]).
+    pub fn durable_log(&self) -> Vec<u8> {
+        self.wal.lock().durable_log()
+    }
+
+    /// The full appended stream including the pending tail (see
+    /// [`Wal::appended_log`]).
+    pub fn appended_log(&self) -> Vec<u8> {
+        self.wal.lock().appended_log()
     }
 
     /// Group-commit behaviour counters.
@@ -236,7 +259,7 @@ mod tests {
     #[test]
     fn repeat_commit_with_no_new_records_is_absorbed() {
         let (disk, gc) = gc(GroupCommitConfig::per_commit());
-        gc.with_wal(|w| w.append(b"record"));
+        gc.with_wal(|w| w.append_sized(6));
         let io1 = gc.commit();
         assert_eq!(io1.page_writes, 1);
         let before = disk.stats();
@@ -296,7 +319,7 @@ mod tests {
         // commit_requests == flushes + absorbed invariant.
         let disk = DiskSim::with_defaults();
         let mut wal = Wal::new(disk.clone());
-        wal.append(b"old");
+        wal.append_sized(3);
         wal.commit();
         let gc = GroupCommitWal::new(wal, GroupCommitConfig::per_commit());
         assert_eq!(gc.commit(), IoStats::default());
@@ -307,7 +330,7 @@ mod tests {
         // A wrapped log with a pending tail is flushed by the first
         // commit and counted as a flush.
         let mut wal = Wal::new(disk);
-        wal.append(b"pending");
+        wal.append_sized(7);
         let gc = GroupCommitWal::new(wal, GroupCommitConfig::per_commit());
         let io = gc.commit();
         assert_eq!(io.page_writes, 1);
@@ -319,7 +342,7 @@ mod tests {
     fn per_commit_config_flushes_every_time() {
         let (_disk, gc) = gc(GroupCommitConfig::per_commit());
         for _ in 0..3 {
-            gc.with_wal(|w| w.append(b"r"));
+            gc.with_wal(|w| w.append_sized(1));
             let io = gc.commit();
             assert_eq!(io.page_writes, 1);
         }
@@ -332,11 +355,19 @@ mod tests {
     fn durable_bytes_and_records_pass_through() {
         let (_disk, gc) = gc(GroupCommitConfig::default());
         gc.with_wal(|w| {
-            w.append(b"abcd");
-            w.append(b"efgh");
+            w.append_sized(4);
+            w.append_sized(4);
         });
         assert_eq!(gc.records(), 2);
         gc.commit();
-        assert_eq!(gc.durable_bytes(), 16, "two 4-byte payloads + prefixes");
+        assert_eq!(
+            gc.durable_bytes(),
+            gc.appended_bytes(),
+            "everything appended is durable after commit"
+        );
+        // The retained stream decodes back to the two records.
+        let decoded = crate::logrec::decode_stream(&gc.durable_log());
+        assert!(!decoded.torn);
+        assert_eq!(decoded.records.len(), 2);
     }
 }

@@ -169,6 +169,37 @@ impl HeapFile {
         Ok(rid)
     }
 
+    /// Append an all-NULL placeholder row without charging I/O. Recovery
+    /// uses this to grow a shard's heap up to a logged RID whose
+    /// intervening slots were deleted before the crash (their delete
+    /// records will be — or already were — replayed as no-ops).
+    pub fn append_tombstone(&mut self) -> Rid {
+        let rid = Rid(self.rows.len() as u64);
+        self.rows.push(vec![crate::value::Value::Null; self.schema.arity()]);
+        rid
+    }
+
+    /// Reinstate a row into a tombstoned slot, charging a write of the
+    /// page — redo of a logged insert whose slot exists but was emptied,
+    /// and undo of an uncommitted delete. Errors if the slot is out of
+    /// range; panics (debug) if the slot is live, because recovery must
+    /// never clobber a row that survived.
+    pub fn restore_row(&mut self, io: &dyn PageAccessor, rid: Rid, row: Row) -> Result<Row> {
+        self.schema.validate(&row)?;
+        let len = self.rows.len() as u64;
+        let slot = self
+            .rows
+            .get_mut(rid.0 as usize)
+            .ok_or(StorageError::RidOutOfRange { rid: rid.0, len })?;
+        debug_assert!(
+            slot.iter().all(|v| v.is_null()),
+            "restore_row target must be a tombstone"
+        );
+        let old = std::mem::replace(slot, row);
+        io.write(self.file, rid.page(self.tups_per_page));
+        Ok(old)
+    }
+
     /// Remove a row by RID. The slot is tombstoned (set to all-NULL) rather
     /// than compacted, as in a real heap; the caller (indexes, CMs) is
     /// responsible for unindexing first. Charges a write of the page.
@@ -320,6 +351,22 @@ mod tests {
         assert!(h.peek(Rid(1)).unwrap()[0].is_null());
         assert_eq!(h.len(), 3, "tombstone keeps slots stable");
         assert!(h.delete(disk.as_ref(), Rid(9)).is_err());
+    }
+
+    #[test]
+    fn tombstone_append_and_restore_roundtrip() {
+        let disk = DiskSim::with_defaults();
+        let mut h = HeapFile::bulk_load(&disk, schema(), rows(2), 4).unwrap();
+        let before = disk.stats();
+        let rid = h.append_tombstone();
+        assert_eq!(rid, Rid(2));
+        assert!(h.peek(rid).unwrap().iter().all(|v| v.is_null()));
+        assert_eq!(disk.stats(), before, "placeholder growth is uncharged");
+        let row = vec![Value::Int(42), Value::str("back")];
+        h.restore_row(disk.as_ref(), rid, row.clone()).unwrap();
+        assert_eq!(h.peek(rid).unwrap(), &row);
+        assert_eq!(disk.stats().page_writes, before.page_writes + 1);
+        assert!(h.restore_row(disk.as_ref(), Rid(9), row).is_err());
     }
 
     #[test]

@@ -25,7 +25,10 @@
 //!   reproducing the mechanism behind the paper's Experiment 3 (index
 //!   maintenance pressure on the buffer pool).
 //! * [`Wal`] — a write-ahead log whose flushes are charged to the disk,
-//!   used to give CMs recoverability comparable to B+Trees (§7.1).
+//!   used to give CMs recoverability comparable to B+Trees (§7.1). Since
+//!   the recovery PR its records are typed, checksummed [`LogPayload`]
+//!   frames ([`logrec`]) with stream-offset LSNs, and the framed stream
+//!   is retained so [`decode_stream`] can replay it after a crash.
 //! * [`StorageShard`] — one disk + pool pair; a set of them lets a higher
 //!   layer partition data so concurrent scans stop interleaving a single
 //!   simulated head.
@@ -43,6 +46,7 @@ pub mod disk;
 pub mod error;
 pub mod group_commit;
 pub mod heap;
+pub mod logrec;
 pub mod rid;
 pub mod schema;
 pub mod shard;
@@ -55,6 +59,10 @@ pub use disk::{for_each_page_run, DiskConfig, DiskSim, FileId, IoStats, PageAcce
 pub use error::StorageError;
 pub use group_commit::{GroupCommitConfig, GroupCommitStats, GroupCommitWal};
 pub use heap::HeapFile;
+pub use logrec::{
+    crc32, decode_stream, encode_frame, DecodedLog, LogPayload, LogRecord, Lsn, AUTOCOMMIT_TXN,
+    FRAME_HEADER_BYTES, PAYLOAD_HEADER_BYTES,
+};
 pub use rid::Rid;
 pub use schema::{Column, Row, Schema, ValueType};
 pub use shard::{aggregate_io, aggregate_pool, makespan_ms, StorageShard};

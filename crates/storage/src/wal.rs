@@ -7,8 +7,17 @@
 //! models that: records accumulate in a buffer and [`Wal::commit`] forces
 //! them to the simulated disk — a seek to the log head plus sequential
 //! page writes, exactly like an `fsync` of an append-only file.
+//!
+//! Since the recovery PR every record is a typed, checksummed
+//! [`LogPayload`] frame (see [`crate::logrec`]): [`Wal::log`] appends
+//! one and returns its [`Lsn`] (byte offset of the frame start), and the
+//! full framed stream is retained in memory so [`Wal::durable_log`] can
+//! hand recovery exactly the bytes a crash would leave on disk. The
+//! simulated disk still only *prices* the flushes; the retained stream
+//! stands in for the log file's contents.
 
 use crate::disk::{DiskSim, FileId, IoStats, PageAccessor};
+use crate::logrec::{self, LogPayload, Lsn, AUTOCOMMIT_TXN};
 use bytes::{BufMut, Bytes, BytesMut};
 use std::sync::Arc;
 
@@ -16,15 +25,16 @@ use std::sync::Arc;
 /// itself, or a [`WalBatch`] gathered outside the log lock so a shared
 /// log's critical section shrinks to the appends alone.
 pub trait LogWrite {
-    /// Append a record described only by its payload size.
+    /// Append a structure-maintenance record described only by its
+    /// payload size (a [`LogPayload::Maintenance`] frame).
     fn append_sized(&mut self, payload_len: usize);
 }
 
-/// A detached batch of record sizes, replayed onto a [`Wal`] later
-/// (e.g. under a briefly-held log lock).
+/// A detached batch of encoded record frames, appended into a [`Wal`]
+/// later (e.g. under a briefly-held log lock).
 #[derive(Debug, Default, Clone)]
 pub struct WalBatch {
-    sizes: Vec<usize>,
+    frames: Vec<Vec<u8>>,
 }
 
 impl WalBatch {
@@ -35,36 +45,38 @@ impl WalBatch {
 
     /// Number of records gathered.
     pub fn len(&self) -> usize {
-        self.sizes.len()
+        self.frames.len()
     }
 
     /// Whether the batch holds no records.
     pub fn is_empty(&self) -> bool {
-        self.sizes.is_empty()
+        self.frames.is_empty()
     }
 
-    /// The gathered record payload sizes.
-    pub fn sizes(&self) -> &[usize] {
-        &self.sizes
+    /// Gather one typed record.
+    pub fn push(&mut self, txn: u64, payload: &LogPayload) {
+        self.frames.push(logrec::encode_frame(txn, payload));
     }
 
-    /// Replay every gathered record onto `wal`.
-    pub fn replay(&self, wal: &mut Wal) {
-        for &n in &self.sizes {
-            wal.append_sized(n);
+    /// Append every gathered record onto `wal`, in order. (Formerly
+    /// `replay` — renamed so "replay" unambiguously means recovery
+    /// redo.)
+    pub fn append_into(&self, wal: &mut Wal) {
+        for frame in &self.frames {
+            wal.append_frame(frame);
         }
     }
 }
 
 impl LogWrite for WalBatch {
     fn append_sized(&mut self, payload_len: usize) {
-        self.sizes.push(payload_len);
+        self.push(AUTOCOMMIT_TXN, &LogPayload::Maintenance { bytes: payload_len as u32 });
     }
 }
 
 impl LogWrite for Wal {
     fn append_sized(&mut self, payload_len: usize) {
-        Wal::append_sized(self, payload_len);
+        self.log(AUTOCOMMIT_TXN, &LogPayload::Maintenance { bytes: payload_len as u32 });
     }
 }
 
@@ -74,6 +86,9 @@ pub struct Wal {
     file: FileId,
     /// Unflushed record bytes.
     buffer: BytesMut,
+    /// The full framed stream since creation. The simulated disk stores
+    /// no bytes, so this is the "log file" recovery reads back.
+    history: BytesMut,
     /// Next page number to write.
     next_page: u64,
     /// Bytes at the front of `buffer` that were already made durable by a
@@ -95,6 +110,7 @@ impl Wal {
             file: disk.alloc_file(),
             disk,
             buffer: BytesMut::new(),
+            history: BytesMut::new(),
             next_page: 0,
             tail_carry: 0,
             durable_bytes: 0,
@@ -103,21 +119,26 @@ impl Wal {
         }
     }
 
-    /// Append one record (length-prefixed) to the in-memory tail. No disk
-    /// cost until [`Wal::commit`].
-    pub fn append(&mut self, payload: &[u8]) {
-        self.buffer.put_u32_le(payload.len() as u32);
-        self.buffer.put_slice(payload);
-        self.records += 1;
+    /// Append one typed record to the in-memory tail and return its LSN.
+    /// No disk cost until [`Wal::commit`].
+    pub fn log(&mut self, txn: u64, payload: &LogPayload) -> Lsn {
+        self.append_frame(&logrec::encode_frame(txn, payload))
     }
 
-    /// Append a record described only by its size — most callers (index
-    /// and CM maintenance) only need the log volume to be right, not the
-    /// contents.
-    pub fn append_sized(&mut self, payload_len: usize) {
-        self.buffer.put_u32_le(payload_len as u32);
-        self.buffer.resize(self.buffer.len() + payload_len, 0);
+    /// Append one pre-encoded frame (see [`WalBatch`]); returns its LSN.
+    pub fn append_frame(&mut self, frame: &[u8]) -> Lsn {
+        let lsn = self.history.len() as Lsn;
+        self.history.put_slice(frame);
+        self.buffer.put_slice(frame);
         self.records += 1;
+        lsn
+    }
+
+    /// Append a maintenance record described only by its size — most
+    /// callers (index and CM upkeep) only need the log volume to be
+    /// right, not the contents.
+    pub fn append_sized(&mut self, payload_len: usize) {
+        self.log(AUTOCOMMIT_TXN, &LogPayload::Maintenance { bytes: payload_len as u32 });
     }
 
     /// Force the buffered tail to disk; returns the I/O charged.
@@ -153,6 +174,11 @@ impl Wal {
         self.durable_bytes
     }
 
+    /// Total bytes appended so far (durable or not).
+    pub fn appended_bytes(&self) -> u64 {
+        self.history.len() as u64
+    }
+
     /// Bytes appended but not yet committed.
     pub fn pending_bytes(&self) -> u64 {
         (self.buffer.len() - self.tail_carry) as u64
@@ -168,6 +194,20 @@ impl Wal {
         self.file
     }
 
+    /// The durable prefix of the framed record stream — what a crash
+    /// right now would leave readable on disk. Recovery decodes this
+    /// with [`logrec::decode_stream`].
+    pub fn durable_log(&self) -> Vec<u8> {
+        self.history[..self.durable_bytes as usize].to_vec()
+    }
+
+    /// The full appended stream including the not-yet-durable tail
+    /// (crash harnesses cut this at arbitrary points; real crashes can
+    /// leave any prefix of the in-flight tail page behind).
+    pub fn appended_log(&self) -> Vec<u8> {
+        self.history.to_vec()
+    }
+
     /// Freeze and return the current unflushed buffer (test hook).
     pub fn pending_snapshot(&self) -> Bytes {
         Bytes::copy_from_slice(&self.buffer)
@@ -177,14 +217,19 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::logrec::{decode_stream, FRAME_HEADER_BYTES, PAYLOAD_HEADER_BYTES};
+
+    /// Frame overhead of a maintenance record: len+crc, kind+txn, and
+    /// the u32 padding-size field.
+    const MAINT_OVERHEAD: usize = FRAME_HEADER_BYTES + PAYLOAD_HEADER_BYTES + 4;
 
     #[test]
     fn commit_charges_seek_plus_sequential_pages() {
         let disk = DiskSim::with_defaults();
         let mut wal = Wal::new(disk.clone());
-        // ~3 pages of records.
+        // Exactly 3 pages of records.
         for _ in 0..3 {
-            wal.append_sized(8192 - 4);
+            wal.append_sized(8192 - MAINT_OVERHEAD);
         }
         let io = wal.commit();
         assert_eq!(io.page_writes, 3);
@@ -207,7 +252,7 @@ mod tests {
         // flush.
         let disk = DiskSim::with_defaults();
         let mut wal = Wal::new(disk.clone());
-        wal.append(b"payload");
+        wal.append_sized(7);
         let io1 = wal.commit();
         assert_eq!(io1.page_writes, 1);
         let durable = wal.durable_bytes();
@@ -224,9 +269,9 @@ mod tests {
     fn small_commits_rewrite_tail_page() {
         let disk = DiskSim::with_defaults();
         let mut wal = Wal::new(disk);
-        wal.append(b"insert t1");
+        wal.log(1, &LogPayload::Commit);
         let io1 = wal.commit();
-        wal.append(b"insert t2");
+        wal.log(2, &LogPayload::Commit);
         let io2 = wal.commit();
         assert_eq!(io1.page_writes, 1);
         assert_eq!(io2.page_writes, 1);
@@ -237,14 +282,16 @@ mod tests {
     fn durable_bytes_accumulate() {
         let disk = DiskSim::with_defaults();
         let mut wal = Wal::new(disk);
-        wal.append(b"abcd");
-        assert_eq!(wal.pending_bytes(), 8); // 4-byte length prefix
+        wal.append_sized(4);
+        let one = (MAINT_OVERHEAD + 4) as u64;
+        assert_eq!(wal.pending_bytes(), one);
         wal.commit();
-        assert_eq!(wal.durable_bytes(), 8);
+        assert_eq!(wal.durable_bytes(), one);
         assert_eq!(wal.pending_bytes(), 0);
         wal.append_sized(100);
         wal.commit();
-        assert_eq!(wal.durable_bytes(), 112);
+        assert_eq!(wal.durable_bytes(), one + (MAINT_OVERHEAD + 100) as u64);
+        assert_eq!(wal.durable_bytes(), wal.appended_bytes());
     }
 
     #[test]
@@ -254,7 +301,7 @@ mod tests {
         wal.append_sized(2 * 8192); // spills past two pages
         wal.commit();
         let before = disk.stats();
-        wal.append(b"tiny");
+        wal.append_sized(4);
         let io = wal.commit();
         // Only the (third) tail page is rewritten, not the sealed ones.
         assert_eq!(io.page_writes, 1);
@@ -265,9 +312,65 @@ mod tests {
     fn pending_snapshot_reflects_buffer() {
         let disk = DiskSim::with_defaults();
         let mut wal = Wal::new(disk);
-        wal.append(b"xy");
+        wal.append_sized(2);
         let snap = wal.pending_snapshot();
-        assert_eq!(&snap[..4], &2u32.to_le_bytes());
-        assert_eq!(&snap[4..], b"xy");
+        assert_eq!(snap.len(), MAINT_OVERHEAD + 2);
+        let body_len = (PAYLOAD_HEADER_BYTES + 4 + 2) as u32;
+        assert_eq!(&snap[..4], &body_len.to_le_bytes());
+    }
+
+    #[test]
+    fn log_returns_stream_offset_lsns_and_history_decodes() {
+        let disk = DiskSim::with_defaults();
+        let mut wal = Wal::new(disk);
+        let l0 = wal.log(7, &LogPayload::Commit);
+        let l1 = wal.log(0, &LogPayload::CheckpointBegin);
+        let l2 = wal.log(0, &LogPayload::CheckpointEnd { redo_lsn: l1 });
+        assert_eq!(l0, 0);
+        assert!(l1 > l0 && l2 > l1);
+        wal.commit();
+        let decoded = decode_stream(&wal.durable_log());
+        assert!(!decoded.torn);
+        let lsns: Vec<Lsn> = decoded.records.iter().map(|r| r.lsn).collect();
+        assert_eq!(lsns, vec![l0, l1, l2]);
+        assert_eq!(decoded.records[0].txn, 7);
+        assert_eq!(decoded.records[2].payload, LogPayload::CheckpointEnd { redo_lsn: l1 });
+    }
+
+    #[test]
+    fn durable_log_excludes_the_uncommitted_tail() {
+        let disk = DiskSim::with_defaults();
+        let mut wal = Wal::new(disk);
+        wal.log(1, &LogPayload::Commit);
+        wal.commit();
+        wal.log(2, &LogPayload::Commit);
+        let durable = decode_stream(&wal.durable_log());
+        assert_eq!(durable.records.len(), 1, "tail record not yet durable");
+        let all = decode_stream(&wal.appended_log());
+        assert_eq!(all.records.len(), 2);
+        assert_eq!(wal.appended_bytes() - wal.durable_bytes(), wal.pending_bytes());
+    }
+
+    #[test]
+    fn batch_append_into_preserves_records_and_lsns() {
+        let disk = DiskSim::with_defaults();
+        let mut wal = Wal::new(disk);
+        wal.log(0, &LogPayload::CheckpointBegin);
+        let mut batch = WalBatch::new();
+        batch.push(4, &LogPayload::Insert {
+            table: "t".into(),
+            shard: 0,
+            rid: 1,
+            row: vec![crate::value::Value::Int(1)],
+        });
+        batch.append_sized(10);
+        assert_eq!(batch.len(), 2);
+        batch.append_into(&mut wal);
+        assert_eq!(wal.records(), 3);
+        wal.commit();
+        let decoded = decode_stream(&wal.durable_log());
+        assert_eq!(decoded.records.len(), 3);
+        assert_eq!(decoded.records[1].txn, 4);
+        assert!(matches!(decoded.records[2].payload, LogPayload::Maintenance { bytes: 10 }));
     }
 }

@@ -225,6 +225,45 @@ fn advisor_mix_smoke() {
 }
 
 #[test]
+fn recovery_smoke() {
+    let r = experiments::recovery::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 9, "three checkpoint policies x three WAL lengths");
+    assert!(r.commentary.contains("workload seed"), "{}", r.commentary);
+    let json = r.to_json();
+    assert!(json.contains("\"id\":\"recovery\""));
+
+    // "recover (sim)" cell, in simulated ms whatever unit it rendered in.
+    let recover_ms = |label_prefix: &str, last: bool| -> f64 {
+        let mut rows = r.rows.iter().filter(|row| row.label.starts_with(label_prefix));
+        let row = if last { rows.next_back() } else { rows.next() }
+            .unwrap_or_else(|| panic!("rows labelled {label_prefix}"));
+        let cell = &row.cells[6];
+        if let Some(s) = cell.strip_suffix(" ms") {
+            s.parse::<f64>().expect("ms cell")
+        } else if let Some(s) = cell.strip_suffix(" s") {
+            s.parse::<f64>().expect("s cell") * 1000.0
+        } else {
+            panic!("unexpected duration cell: {cell}");
+        }
+    };
+    // The tentpole claims at smoke scale: without checkpoints restart
+    // cost grows with WAL length; fine checkpoints beat no checkpoints
+    // on the largest log.
+    let no_small = recover_ms("no ckpt", false);
+    let no_large = recover_ms("no ckpt", true);
+    let fine_large = recover_ms("ckpt/fine", true);
+    assert!(
+        no_large > 1.5 * no_small,
+        "recovery grows with the log: {no_small} ms -> {no_large} ms"
+    );
+    assert!(
+        fine_large < 0.7 * no_large,
+        "fine checkpoints cut restart: {fine_large} ms vs {no_large} ms"
+    );
+    check(r, true);
+}
+
+#[test]
 fn fanout_latency_smoke() {
     let r = experiments::fanout_latency::run(BenchScale::Smoke);
     assert_eq!(r.rows.len(), 12, "three shard counts x four worker counts");
