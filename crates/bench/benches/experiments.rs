@@ -7,7 +7,9 @@
 //! * Figure 3: correlated vs. uncorrelated sorted index scan on TPC-H.
 //! * Experiment 5 (Table 6): composite CM vs. composite B+Tree on SDSS.
 
-use cm_bench::datasets::{ebay_data, ebay_table, sdss_data, sdss_table, tpch_data, tpch_table, BenchScale};
+use cm_bench::datasets::{
+    ebay_data, ebay_table, sdss_data, sdss_table, tpch_data, tpch_table, BenchScale,
+};
 use cm_core::{BucketSpec, CmAttr, CmSpec};
 use cm_datagen::{ebay::COL_PRICE, sdss, tpch};
 use cm_query::{ExecContext, Pred, Query};
@@ -56,7 +58,10 @@ fn bench_figure3_tpch(c: &mut Criterion) {
     let disk_b = DiskSim::with_defaults();
     let mut uncorr = tpch_table(&disk_b, &data, tpch::COL_ORDERKEY);
     let sec_b = uncorr.add_secondary(&disk_b, "ship", vec![tpch::COL_SHIPDATE]);
-    let q = Query::single(Pred::is_in(tpch::COL_SHIPDATE, data.random_shipdates(10, 1)));
+    let q = Query::single(Pred::is_in(
+        tpch::COL_SHIPDATE,
+        data.random_shipdates(10, 1),
+    ));
 
     let mut g = c.benchmark_group("fig3_shipdate_in10");
     g.bench_function("correlated_clustering", |b| {
@@ -83,8 +88,14 @@ fn bench_experiment5_sdss(c: &mut Criterion) {
     let cm_pair = table.add_cm(
         "ra_dec",
         CmSpec::new(vec![
-            CmAttr { col: sdss::COL_RA, bucket: BucketSpec::covering(0.0, 360.0, 1 << 14) },
-            CmAttr { col: sdss::COL_DEC, bucket: BucketSpec::covering(-10.0, 10.0, 1 << 16) },
+            CmAttr {
+                col: sdss::COL_RA,
+                bucket: BucketSpec::covering(0.0, 360.0, 1 << 14),
+            },
+            CmAttr {
+                col: sdss::COL_DEC,
+                bucket: BucketSpec::covering(-10.0, 10.0, 1 << 16),
+            },
         ]),
     );
     let bt = table.add_secondary(&disk, "ra_dec", vec![sdss::COL_RA, sdss::COL_DEC]);

@@ -48,5 +48,8 @@ fn main() {
     ));
 
     std::fs::write(&out_path, md).expect("write EXPERIMENTS.md");
-    eprintln!("wrote {out_path} in {:.1} s", started.elapsed().as_secs_f64());
+    eprintln!(
+        "wrote {out_path} in {:.1} s",
+        started.elapsed().as_secs_f64()
+    );
 }

@@ -1,7 +1,7 @@
-//! Regenerates the engine mixed-workload benchmark (see
-//! `cm_bench::experiments::engine_mixed`). Prints the table and emits the
+//! Regenerates the MVCC reader-latency benchmark (see
+//! `cm_bench::experiments::mvcc_reads`). Prints the table and emits the
 //! result as JSON (machine-readable; `--json-out path` writes it to a
-//! file). Run with `cargo run --release -p cm-bench --bin engine_mixed`.
+//! file). Run with `cargo run --release -p cm-bench --bin mvcc_reads`.
 
 use cm_bench::datasets::BenchScale;
 
@@ -12,7 +12,7 @@ fn main() {
     } else {
         BenchScale::Full
     };
-    let report = cm_bench::experiments::engine_mixed::run(scale);
+    let report = cm_bench::experiments::mvcc_reads::run(scale);
     eprintln!("{}", report.to_text());
     let json = report.to_json();
     match args

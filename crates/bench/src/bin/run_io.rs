@@ -15,7 +15,11 @@ fn main() {
     let report = cm_bench::experiments::run_io::run(scale);
     eprintln!("{}", report.to_text());
     let json = report.to_json();
-    match args.iter().position(|a| a == "--json-out").and_then(|i| args.get(i + 1)) {
+    match args
+        .iter()
+        .position(|a| a == "--json-out")
+        .and_then(|i| args.get(i + 1))
+    {
         Some(path) => {
             std::fs::write(path, &json).expect("write JSON report");
             eprintln!("wrote {path}");

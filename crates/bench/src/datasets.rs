@@ -4,7 +4,9 @@
 //! experiments in milliseconds while `--release` binaries run the full
 //! laptop-scale configuration.
 
-use cm_datagen::{ebay, sdss, tpch_lineitem, EbayConfig, EbayData, SdssConfig, SdssData, TpchConfig, TpchData};
+use cm_datagen::{
+    ebay, sdss, tpch_lineitem, EbayConfig, EbayData, SdssConfig, SdssData, TpchConfig, TpchData,
+};
 use cm_query::Table;
 use cm_storage::DiskSim;
 use std::sync::Arc;

@@ -84,9 +84,18 @@ pub fn run(scale: BenchScale) -> Report {
     // Queries in the crowded low-price region (where one equi-width
     // bucket swallows hundreds of categories) and in the sparse tail.
     let queries = [
-        ("crowded: 100..110", Query::single(Pred::between(COL_PRICE, 100i64, 110i64))),
-        ("crowded: 950..990", Query::single(Pred::between(COL_PRICE, 950i64, 990i64))),
-        ("tail: 500k..550k", Query::single(Pred::between(COL_PRICE, 500_000i64, 550_000i64))),
+        (
+            "crowded: 100..110",
+            Query::single(Pred::between(COL_PRICE, 100i64, 110i64)),
+        ),
+        (
+            "crowded: 950..990",
+            Query::single(Pred::between(COL_PRICE, 950i64, 990i64)),
+        ),
+        (
+            "tail: 500k..550k",
+            Query::single(Pred::between(COL_PRICE, 500_000i64, 550_000i64)),
+        ),
     ];
 
     let mut report = Report::new(
@@ -94,7 +103,13 @@ pub fn run(scale: BenchScale) -> Report {
         "Equi-depth vs equi-width bucketing on skewed prices (paper future work)",
         "the paper conjectures variable-width buckets reduce CM size/lookup cost on \
          skew without hurting performance",
-        vec!["query", "equi-width", "equi-depth", "eqw examined", "eqd examined"],
+        vec![
+            "query",
+            "equi-width",
+            "equi-depth",
+            "eqw examined",
+            "eqd examined",
+        ],
     );
 
     let ctx = ExecContext::cold(&disk);

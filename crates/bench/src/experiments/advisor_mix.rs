@@ -30,11 +30,11 @@ fn pool_pages(scale: BenchScale) -> usize {
 /// high-cardinality Price and ItemID columns, and a composite.
 fn index_cols(i: usize) -> Vec<usize> {
     match i {
-        0 => vec![4],                // CAT4
-        1 => vec![5],                // CAT5
+        0 => vec![4], // CAT4
+        1 => vec![5], // CAT5
         2 => vec![COL_PRICE],
         3 => vec![COL_ITEMID],
-        _ => vec![6, COL_PRICE],     // (CAT6, Price)
+        _ => vec![6, COL_PRICE], // (CAT6, Price)
     }
 }
 
@@ -62,13 +62,23 @@ fn build_engine(
         ..EngineConfig::default()
     });
     engine
-        .create_table("items", data.schema.clone(), COL_CATID, EBAY_TPP, (EBAY_TPP * 2) as u64)
+        .create_table(
+            "items",
+            data.schema.clone(),
+            COL_CATID,
+            EBAY_TPP,
+            (EBAY_TPP * 2) as u64,
+        )
         .expect("fresh catalog");
-    engine.load("items", data.rows.clone()).expect("rows conform");
+    engine
+        .load("items", data.rows.clone())
+        .expect("rows conform");
     if let Some(use_cms) = structures {
         for i in 0..5 {
             if use_cms {
-                engine.create_cm("items", format!("cm{i}"), cm_specs(i)).expect("CM");
+                engine
+                    .create_cm("items", format!("cm{i}"), cm_specs(i))
+                    .expect("CM");
             } else {
                 engine
                     .create_btree("items", format!("idx{i}"), index_cols(i))
@@ -90,7 +100,10 @@ fn workload(data: &mut EbayData, scale: BenchScale, read_fraction: f64) -> Mixed
             loop {
                 let (col, v) = data.random_cat_predicate(seed);
                 if SELECT_COLS.contains(&col) {
-                    return Query::single(Pred { col, op: PredOp::Eq(v) });
+                    return Query::single(Pred {
+                        col,
+                        op: PredOp::Eq(v),
+                    });
                 }
                 seed += 7919;
             }
@@ -152,11 +165,17 @@ fn run_mix(
 
     let bt_engine = build_engine(data, scale, Some(false));
     let bt = run_mixed(&bt_engine, &wl).expect("workload runs");
-    report.push(format!("static 5 B+Trees {mix_label}"), row_cells(&bt, "5x btree".into()));
+    report.push(
+        format!("static 5 B+Trees {mix_label}"),
+        row_cells(&bt, "5x btree".into()),
+    );
 
     let cm_engine = build_engine(data, scale, Some(true));
     let cm = run_mixed(&cm_engine, &wl).expect("workload runs");
-    report.push(format!("static 5 CMs {mix_label}"), row_cells(&cm, "5x cm".into()));
+    report.push(
+        format!("static 5 CMs {mix_label}"),
+        row_cells(&cm, "5x cm".into()),
+    );
 
     // The advised engine: bare start, online profile, mid-run re-plan at
     // 20% of the ops. Its row includes the expensive unindexed prefix —
@@ -174,7 +193,9 @@ fn run_mix(
     // the same data, so the comparison against the statics holds the
     // table constant and measures only the design choice.
     let steady_engine = build_engine(data, scale, None);
-    steady_engine.apply_design("items", &advice.design).expect("design applies");
+    steady_engine
+        .apply_design("items", &advice.design)
+        .expect("design applies");
     let steady = run_mixed(&steady_engine, &wl).expect("workload runs");
     report.push(
         format!("advised steady {mix_label}"),

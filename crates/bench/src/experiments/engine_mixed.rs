@@ -25,11 +25,11 @@ const N_STRUCTURES: usize = 5;
 /// random leaf positions put real insert pressure on the shared pool.
 fn index_cols(i: usize) -> Vec<usize> {
     match i {
-        0 => vec![4],                // CAT4
-        1 => vec![5],                // CAT5
+        0 => vec![4], // CAT4
+        1 => vec![5], // CAT5
         2 => vec![COL_PRICE],
         3 => vec![COL_ITEMID],
-        _ => vec![6, COL_PRICE],     // (CAT6, Price)
+        _ => vec![6, COL_PRICE], // (CAT6, Price)
     }
 }
 
@@ -50,9 +50,17 @@ fn build_engine(data: &EbayData, use_cms: bool) -> std::sync::Arc<Engine> {
         ..EngineConfig::default()
     });
     engine
-        .create_table("items", data.schema.clone(), COL_CATID, EBAY_TPP, (EBAY_TPP * 2) as u64)
+        .create_table(
+            "items",
+            data.schema.clone(),
+            COL_CATID,
+            EBAY_TPP,
+            (EBAY_TPP * 2) as u64,
+        )
         .expect("fresh catalog");
-    engine.load("items", data.rows.clone()).expect("rows conform");
+    engine
+        .load("items", data.rows.clone())
+        .expect("rows conform");
     for i in 0..N_STRUCTURES {
         if use_cms {
             engine
@@ -79,7 +87,10 @@ fn workload(data: &mut EbayData, scale: BenchScale) -> MixedWorkloadConfig {
             loop {
                 let (col, v) = data.random_cat_predicate(seed);
                 if SELECT_COLS.contains(&col) {
-                    return Query::single(Pred { col, op: PredOp::Eq(v) });
+                    return Query::single(Pred {
+                        col,
+                        op: PredOp::Eq(v),
+                    });
                 }
                 seed += 7919;
             }
@@ -133,6 +144,10 @@ fn row_cells(r: &WorkloadReport) -> Vec<String> {
             r.read_latency.p50_ms, r.read_latency.p95_ms, r.read_latency.p99_ms
         ),
         format!(
+            "{:.3}/{:.3}/{:.3}",
+            r.write_latency.p50_ms, r.write_latency.p95_ms, r.write_latency.p99_ms
+        ),
+        format!(
             "cm:{} sorted:{} pipe:{} scan:{}",
             r.routes.cm_scan,
             r.routes.secondary_sorted,
@@ -170,6 +185,7 @@ pub fn run(scale: BenchScale) -> Report {
             "ops/s (simulated)",
             "simulated I/O",
             "read p50/p95/p99 (ms)",
+            "write p50/p95/p99 (ms)",
             "routing",
             "pool hit",
             "seeks/page",

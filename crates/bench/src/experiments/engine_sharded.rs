@@ -39,9 +39,17 @@ fn build_engine(
         ..EngineConfig::default()
     });
     engine
-        .create_table("items", data.schema.clone(), COL_CATID, EBAY_TPP, (EBAY_TPP * 2) as u64)
+        .create_table(
+            "items",
+            data.schema.clone(),
+            COL_CATID,
+            EBAY_TPP,
+            (EBAY_TPP * 2) as u64,
+        )
         .expect("fresh catalog");
-    engine.load("items", data.rows.clone()).expect("rows conform");
+    engine
+        .load("items", data.rows.clone())
+        .expect("rows conform");
     // A CM on the clustered attribute itself guides range queries to the
     // overlapping buckets (intersected per shard), and a bucketed CM on
     // Price serves the secondary-attribute lookups.
@@ -172,7 +180,10 @@ pub fn run(scale: BenchScale) -> Report {
     let wl = workload(&mut data, scale, 0.1);
     let mut wal_pages_per_write = Vec::new();
     for (label, gc) in [
-        ("4 shards 10/90 per-commit WAL", GroupCommitConfig::per_commit()),
+        (
+            "4 shards 10/90 per-commit WAL",
+            GroupCommitConfig::per_commit(),
+        ),
         ("4 shards 10/90 group commit", GroupCommitConfig::default()),
     ] {
         let engine = build_engine(&data, 4, gc);
@@ -182,7 +193,11 @@ pub fn run(scale: BenchScale) -> Report {
     }
 
     let ratio = |sweep: &[(usize, f64)], shards: usize| -> f64 {
-        let base = sweep.iter().find(|(s, _)| *s == 1).map(|(_, t)| *t).unwrap_or(1.0);
+        let base = sweep
+            .iter()
+            .find(|(s, _)| *s == 1)
+            .map(|(_, t)| *t)
+            .unwrap_or(1.0);
         sweep
             .iter()
             .find(|(s, _)| *s == shards)

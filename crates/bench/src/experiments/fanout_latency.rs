@@ -36,9 +36,17 @@ fn build_engine(data: &EbayData, shards: usize, workers: usize) -> std::sync::Ar
         ..EngineConfig::default()
     });
     engine
-        .create_table("items", data.schema.clone(), COL_CATID, EBAY_TPP, (EBAY_TPP * 2) as u64)
+        .create_table(
+            "items",
+            data.schema.clone(),
+            COL_CATID,
+            EBAY_TPP,
+            (EBAY_TPP * 2) as u64,
+        )
         .expect("fresh catalog");
-    engine.load("items", data.rows.clone()).expect("rows conform");
+    engine
+        .load("items", data.rows.clone())
+        .expect("rows conform");
     engine
         .create_cm("items", "cat_cm", CmSpec::single_raw(COL_CATID))
         .expect("CM");
@@ -84,7 +92,10 @@ fn measure(engine: &std::sync::Arc<Engine>, queries: &[Query]) -> (LatencyStats,
         parallel.push(out.parallel_ms);
         serial.push(out.run.ms());
     }
-    (LatencyStats::from_samples(parallel), LatencyStats::from_samples(serial))
+    (
+        LatencyStats::from_samples(parallel),
+        LatencyStats::from_samples(serial),
+    )
 }
 
 /// Run the benchmark.

@@ -60,13 +60,22 @@ pub fn run(scale: BenchScale) -> Report {
         "Cost model vs measured CM runtime across c_per_u (eBay, CAT5 = X)",
         "runtime is primarily determined by how many clustered values the predicated \
          value maps to; the model tracks measurements across c_per_u from 4 to 145",
-        vec!["CAT5 value", "c_per_u (buckets)", "measured", "model", "model/measured"],
+        vec![
+            "CAT5 value",
+            "c_per_u (buckets)",
+            "measured",
+            "model",
+            "model/measured",
+        ],
     );
 
     let mut low_err: f64 = 0.0;
     let mut high_ratio: f64 = 0.0;
     for (v, _) in &picks {
-        let q = Query::single(Pred { col: COL_CAT5, op: cm_query::PredOp::Eq(v.clone()) });
+        let q = Query::single(Pred {
+            col: COL_CAT5,
+            op: cm_query::PredOp::Eq(v.clone()),
+        });
         let buckets = table.cm(cm).lookup(&[AttrConstraint::Eq(v.clone())]);
         disk.reset();
         let ctx = ExecContext::cold(&disk);

@@ -75,10 +75,30 @@ pub fn run(scale: BenchScale) -> Report {
     );
 
     let cases = [
-        ("suppkey | clustered partkey   ", &by_partkey, COL_SUPPKEY, &suppkeys),
-        ("suppkey | unclustered (pk)    ", &by_pk, COL_SUPPKEY, &suppkeys),
-        ("shipdate | clustered receiptdt", &by_receipt, COL_SHIPDATE, &shipdates),
-        ("shipdate | unclustered (pk)   ", &by_pk, COL_SHIPDATE, &shipdates),
+        (
+            "suppkey | clustered partkey   ",
+            &by_partkey,
+            COL_SUPPKEY,
+            &suppkeys,
+        ),
+        (
+            "suppkey | unclustered (pk)    ",
+            &by_pk,
+            COL_SUPPKEY,
+            &suppkeys,
+        ),
+        (
+            "shipdate | clustered receiptdt",
+            &by_receipt,
+            COL_SHIPDATE,
+            &shipdates,
+        ),
+        (
+            "shipdate | unclustered (pk)   ",
+            &by_pk,
+            COL_SHIPDATE,
+            &shipdates,
+        ),
     ];
 
     let mut strips = String::new();

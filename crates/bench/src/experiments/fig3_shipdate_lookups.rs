@@ -47,7 +47,13 @@ pub fn run(scale: BenchScale) -> Report {
         "B+Tree on shipdate: correlated vs uncorrelated clustering (TPC-H)",
         "uncorrelated curve hits the sequential-scan ceiling within ~4 shipdates; \
          correlated curve stays linear and far below; the cost model tracks it",
-        vec!["#shipdates", "B+Tree (corr)", "B+Tree (uncorr)", "table scan", "model (corr)"],
+        vec![
+            "#shipdates",
+            "B+Tree (corr)",
+            "B+Tree (uncorr)",
+            "table scan",
+            "model (corr)",
+        ],
     );
 
     let scan_ms = {
@@ -62,10 +68,14 @@ pub fn run(scale: BenchScale) -> Report {
         let q = Query::single(Pred::is_in(COL_SHIPDATE, dates));
         disk_a.reset();
         let ctx_a = ExecContext::cold(&disk_a);
-        let r_corr = corr.exec_secondary_sorted(&ctx_a, sec_a, &q).expect("shipdate predicate");
+        let r_corr = corr
+            .exec_secondary_sorted(&ctx_a, sec_a, &q)
+            .expect("shipdate predicate");
         disk_b.reset();
         let ctx_b = ExecContext::cold(&disk_b);
-        let r_uncorr = uncorr.exec_secondary_sorted(&ctx_b, sec_b, &q).expect("shipdate predicate");
+        let r_uncorr = uncorr
+            .exec_secondary_sorted(&ctx_b, sec_b, &q)
+            .expect("shipdate predicate");
         let model = params.cost_sorted(n as f64, st.c_per_u, st.c_tups);
         corr_at_max = r_corr.ms();
         if uncorr_hit_ceiling_at.is_none() && r_uncorr.ms() > 0.8 * scan_ms {

@@ -20,10 +20,20 @@ pub fn run(scale: BenchScale) -> Report {
     let data = ebay_data(scale);
     let engine = Engine::new(EngineConfig::default());
     engine
-        .create_table("items", data.schema.clone(), COL_CATID, EBAY_TPP, (EBAY_TPP * 2) as u64)
+        .create_table(
+            "items",
+            data.schema.clone(),
+            COL_CATID,
+            EBAY_TPP,
+            (EBAY_TPP * 2) as u64,
+        )
         .expect("fresh catalog");
-    engine.load("items", data.rows.clone()).expect("generated rows conform");
-    let sec = engine.create_btree("items", "price_idx", vec![COL_PRICE]).expect("index");
+    engine
+        .load("items", data.rows.clone())
+        .expect("generated rows conform");
+    let sec = engine
+        .create_btree("items", "price_idx", vec![COL_PRICE])
+        .expect("index");
     // Experiment 1's bucket choice: 4096 price values per bucket (2^12).
     let cm = engine
         .create_cm("items", "price_cm", CmSpec::single_pow2(COL_PRICE, 12))
@@ -40,7 +50,13 @@ pub fn run(scale: BenchScale) -> Report {
          via cm-engine)",
         "CM runs slightly behind the B+Tree (extraneous bucketed pages) but an order \
          of magnitude ahead of a scan, at ~1/1000th the B+Tree's size",
-        vec!["range [$]", "CM", "B+Tree", "table scan", "CM examined/matched"],
+        vec![
+            "range [$]",
+            "CM",
+            "B+Tree",
+            "table scan",
+            "CM examined/matched",
+        ],
     );
 
     // Cold session, as in the paper's flushed-cache query runs.
@@ -52,11 +68,15 @@ pub fn run(scale: BenchScale) -> Report {
     for &r in &ranges {
         let q = Query::single(Pred::between(COL_PRICE, 1000i64, 1000 + r));
         engine.disk().reset();
-        let cm_run = session.execute_via("items", AccessPath::CmScan(cm), &q).unwrap();
+        let cm_run = session
+            .execute_via("items", AccessPath::CmScan(cm), &q)
+            .unwrap();
         let bt_run = session
             .execute_via("items", AccessPath::SecondarySorted(sec), &q)
             .unwrap();
-        let scan = session.execute_via("items", AccessPath::FullScan, &q).unwrap();
+        let scan = session
+            .execute_via("items", AccessPath::FullScan, &q)
+            .unwrap();
         scan_ms_last = scan.run.ms();
         worst_ratio = worst_ratio.max(cm_run.run.ms() / bt_run.run.ms().max(1e-9));
         report.push(
@@ -71,7 +91,9 @@ pub fn run(scale: BenchScale) -> Report {
     }
 
     let (cm_size, bt_size) = engine
-        .with_table("items", |t| (t.cm(cm).size_bytes(), t.secondary(sec).size_bytes()))
+        .with_table("items", |t| {
+            (t.cm(cm).size_bytes(), t.secondary(sec).size_bytes())
+        })
         .unwrap();
     report.commentary = format!(
         "CM stays within {:.1}x of the B+Tree and far below the {} scan; sizes: CM {} \

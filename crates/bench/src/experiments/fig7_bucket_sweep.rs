@@ -32,7 +32,10 @@ pub fn run(scale: BenchScale) -> Report {
     let ctx = ExecContext::cold(&disk);
     let bt_ms = {
         disk.reset();
-        table.exec_secondary_sorted(&ctx, sec, &q).expect("indexed predicate").ms()
+        table
+            .exec_secondary_sorted(&ctx, sec, &q)
+            .expect("indexed predicate")
+            .ms()
     };
     let params = CostParams::new(
         &disk.config(),
@@ -53,7 +56,10 @@ pub fn run(scale: BenchScale) -> Report {
     let mut runtimes: Vec<f64> = Vec::new();
     for &level in &levels {
         let mut t2 = ebay_table(&disk, &data);
-        let cm = t2.add_cm(format!("price_cm_{level}"), CmSpec::single_pow2(COL_PRICE, level));
+        let cm = t2.add_cm(
+            format!("price_cm_{level}"),
+            CmSpec::single_pow2(COL_PRICE, level),
+        );
         disk.reset();
         let ctx2 = ExecContext::cold(&disk);
         let run = t2.exec_cm_scan(&ctx2, cm, &q);
@@ -71,7 +77,12 @@ pub fn run(scale: BenchScale) -> Report {
         runtimes.push(run.ms());
         report.push(
             level.to_string(),
-            vec![ms(run.ms()), ms(model), ms(bt_ms), bytes(cmref.size_bytes())],
+            vec![
+                ms(run.ms()),
+                ms(model),
+                ms(bt_ms),
+                bytes(cmref.size_bytes()),
+            ],
         );
     }
 

@@ -54,12 +54,20 @@ fn run_inserts(cfg: EbayConfig, n: usize, use_cms: bool, batches: &[Vec<Row>]) -
     });
     let data = ebay(cfg);
     engine
-        .create_table("items", data.schema.clone(), COL_CATID, EBAY_TPP, (EBAY_TPP * 10) as u64)
+        .create_table(
+            "items",
+            data.schema.clone(),
+            COL_CATID,
+            EBAY_TPP,
+            (EBAY_TPP * 10) as u64,
+        )
         .expect("fresh catalog");
     engine.load("items", data.rows).expect("rows conform");
     for i in 0..n {
         if use_cms {
-            engine.create_cm("items", format!("cm{i}"), cm_spec(i)).expect("CM");
+            engine
+                .create_cm("items", format!("cm{i}"), cm_spec(i))
+                .expect("CM");
         } else {
             engine
                 .create_btree("items", format!("idx{i}"), index_cols(i))
@@ -70,7 +78,9 @@ fn run_inserts(cfg: EbayConfig, n: usize, use_cms: bool, batches: &[Vec<Row>]) -
     engine.reset_io();
     for batch in batches {
         for row in batch {
-            session.insert("items", row.clone()).expect("generated row conforms");
+            session
+                .insert("items", row.clone())
+                .expect("generated row conforms");
         }
         engine.commit();
     }
@@ -98,7 +108,9 @@ pub fn run(scale: BenchScale) -> Report {
     // Shared insert workload: identical rows for every configuration.
     let batches: Vec<Vec<Row>> = {
         let mut data = ebay(cfg);
-        (0..n_batches).map(|b| data.insert_batch(batch_size, b as u64)).collect()
+        (0..n_batches)
+            .map(|b| data.insert_batch(batch_size, b as u64))
+            .collect()
     };
 
     let mut report = Report::new(

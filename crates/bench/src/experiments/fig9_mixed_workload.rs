@@ -55,12 +55,7 @@ fn workload(cfg: EbayConfig, runs: usize, batch: usize, selects_per_run: usize) 
 }
 
 /// Run one configuration; returns (insert_ms, select_ms).
-fn run_config(
-    cfg: EbayConfig,
-    wl: &Workload,
-    use_cms: bool,
-    with_selects: bool,
-) -> (f64, f64) {
+fn run_config(cfg: EbayConfig, wl: &Workload, use_cms: bool, with_selects: bool) -> (f64, f64) {
     let disk = DiskSim::with_defaults();
     let data = ebay(cfg);
     let mut table = Table::build(
@@ -97,7 +92,10 @@ fn run_config(
         if with_selects {
             let before = disk.stats();
             for (col, v) in sels {
-                let q = Query::single(Pred { col: *col, op: cm_query::PredOp::Eq(v.clone()) });
+                let q = Query::single(Pred {
+                    col: *col,
+                    op: cm_query::PredOp::Eq(v.clone()),
+                });
                 let ctx = ExecContext::through(&disk, &pool);
                 let idx = col - 1; // structure i covers CAT{i+1}
                 let mut sum = 0i64;
@@ -158,7 +156,10 @@ pub fn run(scale: BenchScale) -> Report {
         "B+Tree-mix",
         vec![ms(bt_mix_ins), ms(bt_mix_sel), ms(bt_mix_ins + bt_mix_sel)],
     );
-    report.push("B+Tree (insert only)", vec![ms(bt_ins), "-".into(), ms(bt_ins)]);
+    report.push(
+        "B+Tree (insert only)",
+        vec![ms(bt_ins), "-".into(), ms(bt_ins)],
+    );
     report.push(
         "CM-mix",
         vec![ms(cm_mix_ins), ms(cm_mix_sel), ms(cm_mix_ins + cm_mix_sel)],

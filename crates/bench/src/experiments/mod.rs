@@ -8,6 +8,7 @@ pub mod advisor_mix;
 pub mod engine_mixed;
 pub mod engine_sharded;
 pub mod fanout_latency;
+pub mod fig10_cost_model;
 pub mod fig1_access_patterns;
 pub mod fig2_sdss_clusterings;
 pub mod fig3_shipdate_lookups;
@@ -15,7 +16,7 @@ pub mod fig6_cm_vs_btree;
 pub mod fig7_bucket_sweep;
 pub mod fig8_maintenance;
 pub mod fig9_mixed_workload;
-pub mod fig10_cost_model;
+pub mod mvcc_reads;
 pub mod recovery;
 pub mod run_io;
 pub mod tab3_clustered_bucketing;
@@ -45,6 +46,7 @@ pub fn run_all(scale: BenchScale) -> Vec<Report> {
         engine_mixed::run(scale),
         engine_sharded::run(scale),
         fanout_latency::run(scale),
+        mvcc_reads::run(scale),
         run_io::run(scale),
         advisor_mix::run(scale),
         recovery::run(scale),

@@ -35,7 +35,9 @@ fn build_engine(config: EngineConfig, base_rows: usize) -> Arc<Engine> {
         Column::new("catid", ValueType::Int),
         Column::new("price", ValueType::Int),
     ]));
-    engine.create_table("items", schema, 0, 20, 100).expect("fresh catalog");
+    engine
+        .create_table("items", schema, 0, 20, 100)
+        .expect("fresh catalog");
     let rows: Vec<Row> = (0..base_rows as i64)
         .map(|i| {
             let cat = i % CATS;
@@ -43,16 +45,21 @@ fn build_engine(config: EngineConfig, base_rows: usize) -> Arc<Engine> {
         })
         .collect();
     engine.load("items", rows).expect("rows conform");
-    engine.create_btree("items", "price_ix", vec![1]).expect("index");
-    engine.create_cm("items", "cat_cm", CmSpec::single_raw(0)).expect("CM");
+    engine
+        .create_btree("items", "price_ix", vec![1])
+        .expect("index");
+    engine
+        .create_cm("items", "cat_cm", CmSpec::single_raw(0))
+        .expect("CM");
     engine
 }
 
 /// A 30/70 read/write mix: reads are category point queries, writes are
 /// fresh rows in a disjoint price range, committed every 24 ops.
 fn workload(ops: usize) -> MixedWorkloadConfig {
-    let reads: Vec<Query> =
-        (0..16i64).map(|c| Query::single(Pred::eq(0, (c * 13) % CATS))).collect();
+    let reads: Vec<Query> = (0..16i64)
+        .map(|c| Query::single(Pred::eq(0, (c * 13) % CATS)))
+        .collect();
     let insert_rows: Vec<Row> = (0..ops as i64)
         .map(|i| vec![Value::Int(i % CATS), Value::Int(1_000_000 + i)])
         .collect();
@@ -81,7 +88,10 @@ struct Cell {
 /// Run one (WAL length, checkpoint interval) cell: workload, crash at
 /// the durable point, recover, first query.
 fn run_cell(base_rows: usize, ops: usize, checkpoint_every: u64) -> Cell {
-    let config = EngineConfig { checkpoint_every, ..EngineConfig::default() };
+    let config = EngineConfig {
+        checkpoint_every,
+        ..EngineConfig::default()
+    };
     let engine = build_engine(config, base_rows);
     let wl = workload(ops);
     run_mixed(&engine, &wl).expect("workload runs");
@@ -93,7 +103,9 @@ fn run_cell(base_rows: usize, ops: usize, checkpoint_every: u64) -> Cell {
 
     let (recovered, report) = Engine::recover(config, &state).expect("recovery succeeds");
     let q = Query::single(Pred::eq(0, 17i64));
-    let first = recovered.execute("items", &q).expect("survivor answers queries");
+    let first = recovered
+        .execute("items", &q)
+        .expect("survivor answers queries");
     let ttfq_ms = report.sim_ms + first.run.ms();
 
     Cell {
@@ -120,7 +132,11 @@ pub fn run(scale: BenchScale) -> Report {
     let base_rows = scale.n(20_000, 1_000);
     // Growing WAL lengths (ops per run) crossed with three checkpoint
     // policies: none, a coarse interval, and a fine one.
-    let op_counts = [scale.n(2_000, 150), scale.n(6_000, 300), scale.n(12_000, 600)];
+    let op_counts = [
+        scale.n(2_000, 150),
+        scale.n(6_000, 300),
+        scale.n(12_000, 600),
+    ];
     let policies: [(&str, u64); 3] = [
         ("no ckpt", 0),
         ("ckpt/coarse", scale.n(6_000, 500) as u64),

@@ -53,7 +53,10 @@ struct ArbState {
 impl TurnArbiter {
     fn new(sessions: usize) -> Self {
         TurnArbiter {
-            state: Mutex::new(ArbState { turn: 0, active: vec![true; sessions] }),
+            state: Mutex::new(ArbState {
+                turn: 0,
+                active: vec![true; sessions],
+            }),
             cv: Condvar::new(),
         }
     }
@@ -103,17 +106,21 @@ struct SessionIo<'a> {
 
 impl PageAccessor for SessionIo<'_> {
     fn read(&self, file: FileId, page: u64) {
-        self.arbiter.with_turn(self.id, || self.inner.read(file, page));
+        self.arbiter
+            .with_turn(self.id, || self.inner.read(file, page));
     }
     fn write(&self, file: FileId, page: u64) {
-        self.arbiter.with_turn(self.id, || self.inner.write(file, page));
+        self.arbiter
+            .with_turn(self.id, || self.inner.write(file, page));
     }
     fn read_run(&self, file: FileId, lo: u64, hi: u64) {
         // The whole run is one turn: vectored I/O is atomic.
-        self.arbiter.with_turn(self.id, || self.inner.read_run(file, lo, hi));
+        self.arbiter
+            .with_turn(self.id, || self.inner.read_run(file, lo, hi));
     }
     fn write_run(&self, file: FileId, lo: u64, hi: u64) {
-        self.arbiter.with_turn(self.id, || self.inner.write_run(file, lo, hi));
+        self.arbiter
+            .with_turn(self.id, || self.inner.write_run(file, lo, hi));
     }
 }
 
@@ -159,7 +166,11 @@ fn measure(
             let arbiter = &arbiter;
             let matched = &matched;
             scope.spawn(move || {
-                let session_io = SessionIo { arbiter, id, inner: disk.as_ref() };
+                let session_io = SessionIo {
+                    arbiter,
+                    id,
+                    inner: disk.as_ref(),
+                };
                 let per_page = PerPageIo(&session_io);
                 let io: &dyn PageAccessor = if vectored { &session_io } else { &per_page };
                 let ctx = ExecContext::through(disk, io);
@@ -170,9 +181,9 @@ fn measure(
                 for q in &queries[id * per_session..(id + 1) * per_session] {
                     let r = match path {
                         "full scan" => table.exec_full_scan(&ctx, q),
-                        "secondary sorted" => {
-                            table.exec_secondary_sorted(&ctx, sec, q).expect("catid prefix")
-                        }
+                        "secondary sorted" => table
+                            .exec_secondary_sorted(&ctx, sec, q)
+                            .expect("catid prefix"),
                         _ => table.exec_cm_scan(&ctx, cm, q),
                     };
                     local += r.matched;
@@ -236,13 +247,15 @@ pub fn run(scale: BenchScale) -> Report {
     let mut speedup_sorted_8 = 0.0;
     for path in PATHS {
         for sessions in SESSIONS {
-            let queries =
-                read_queries(data.category_paths.len(), sessions * per_session);
+            let queries = read_queries(data.category_paths.len(), sessions * per_session);
             let (pp, pp_matched) = measure(&table, &disk, &queries, path, sessions, false);
-            let (vec_io, vec_matched) =
-                measure(&table, &disk, &queries, path, sessions, true);
+            let (vec_io, vec_matched) = measure(&table, &disk, &queries, path, sessions, true);
             assert_eq!(pp_matched, vec_matched, "modes must agree on results");
-            assert_eq!(pp.pages(), vec_io.pages(), "modes must touch the same pages");
+            assert_eq!(
+                pp.pages(),
+                vec_io.pages(),
+                "modes must touch the same pages"
+            );
             let n = queries.len() as f64;
             let pp_ms = pp.elapsed_ms / n;
             let vec_ms = vec_io.elapsed_ms / n;

@@ -33,7 +33,10 @@ pub fn run(scale: BenchScale) -> Report {
     // Index designs, bucketed per the paper's Table 6 labels.
     let cm_ra = table.add_cm(
         "cm_ra",
-        CmSpec::new(vec![CmAttr { col: COL_RA, bucket: BucketSpec::covering(0.0, 360.0, 1 << 12) }]),
+        CmSpec::new(vec![CmAttr {
+            col: COL_RA,
+            bucket: BucketSpec::covering(0.0, 360.0, 1 << 12),
+        }]),
     );
     let cm_dec = table.add_cm(
         "cm_dec",
@@ -49,8 +52,14 @@ pub fn run(scale: BenchScale) -> Report {
     let cm_pair = table.add_cm(
         "cm_ra_dec",
         CmSpec::new(vec![
-            CmAttr { col: COL_RA, bucket: BucketSpec::covering(0.0, 360.0, 512) },
-            CmAttr { col: COL_DEC, bucket: BucketSpec::covering(-10.0, 10.0, 40) },
+            CmAttr {
+                col: COL_RA,
+                bucket: BucketSpec::covering(0.0, 360.0, 512),
+            },
+            CmAttr {
+                col: COL_DEC,
+                bucket: BucketSpec::covering(-10.0, 10.0, 40),
+            },
         ]),
     );
     let bt_pair = table.add_secondary(&disk, "btree_ra_dec", vec![COL_RA, COL_DEC]);
@@ -64,7 +73,11 @@ pub fn run(scale: BenchScale) -> Report {
     );
 
     let mut results: Vec<(String, f64, u64)> = Vec::new();
-    for (label, cm_id) in [("CM(ra)", cm_ra), ("CM(dec)", cm_dec), ("CM(ra,dec)", cm_pair)] {
+    for (label, cm_id) in [
+        ("CM(ra)", cm_ra),
+        ("CM(dec)", cm_dec),
+        ("CM(ra,dec)", cm_pair),
+    ] {
         disk.reset();
         let ctx = ExecContext::cold(&disk);
         let mut matched = 0u64;

@@ -13,7 +13,10 @@ pub struct Row {
 impl Row {
     /// Build a row from a label and formatted cells.
     pub fn new(label: impl Into<String>, cells: Vec<String>) -> Self {
-        Row { label: label.into(), cells }
+        Row {
+            label: label.into(),
+            cells,
+        }
     }
 }
 
@@ -298,9 +301,16 @@ mod tests {
     #[test]
     fn latency_summary_rendered_everywhere() {
         let mut r = sample();
-        r.latency = Some(LatencySummary { p50_ms: 12.5, p95_ms: 40.0, p99_ms: 55.25 });
+        r.latency = Some(LatencySummary {
+            p50_ms: 12.5,
+            p95_ms: 40.0,
+            p99_ms: 55.25,
+        });
         let t = r.to_text();
-        assert!(t.contains("latency: p50 12.5 ms / p95 40.0 ms / p99 55.2 ms"), "{t}");
+        assert!(
+            t.contains("latency: p50 12.5 ms / p95 40.0 ms / p99 55.2 ms"),
+            "{t}"
+        );
         let md = r.to_markdown();
         assert!(md.contains("**Latency:**"), "{md}");
         let j = r.to_json();

@@ -36,14 +36,16 @@ use cm_query::{
 };
 use crate::recovery::ImageInstall;
 use cm_storage::{
-    aggregate_io, aggregate_pool, makespan_ms, BufferPool, DiskConfig, DiskSim,
-    GroupCommitConfig, GroupCommitStats, GroupCommitWal, IoStats, LogPayload, PoolStats,
-    Rid, Row, Schema, StorageShard, Wal, WalBatch, AUTOCOMMIT_TXN,
+    aggregate_io, aggregate_pool, makespan_ms, pending_stamp, BufferPool, DiskConfig,
+    DiskSim, GroupCommitConfig, GroupCommitStats, GroupCommitWal, IoStats, LogPayload,
+    MvccState, MvccStats, PoolStats, Rid, Row, Schema, Snapshot, StorageShard, Wal,
+    WalBatch, AUTOCOMMIT_TXN, LIVE_TS,
 };
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Engine construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +75,20 @@ pub struct EngineConfig {
     /// `0` disables automatic checkpoints (the default; call
     /// [`Engine::checkpoint`] explicitly).
     pub checkpoint_every: u64,
+    /// Multi-version concurrency for reads: every query reads at a
+    /// snapshot timestamp under shard *read* locks, writers stamp
+    /// `begin`/`end` versions instead of physically removing rows, and
+    /// [`Engine::apply_design`] swaps structure sets online. Off by
+    /// default (the pre-MVCC `RwLock` behaviour, kept for comparison —
+    /// the `mvcc_reads` bench sweeps both).
+    pub mvcc: bool,
+    /// MVCC deletes between automatic vacuum passes: when at least this
+    /// many versions have been ended since the last pass, the next
+    /// [`Engine::commit`] runs [`Engine::vacuum`] before returning
+    /// (skipped when one is already in flight). `0` disables automatic
+    /// GC (the default; call [`Engine::vacuum`] explicitly). Ignored
+    /// when `mvcc` is off.
+    pub gc_every: u64,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +101,8 @@ impl Default for EngineConfig {
             group_commit: GroupCommitConfig::default(),
             advisor: WorkloadAdvisorConfig::default(),
             checkpoint_every: 0,
+            mvcc: false,
+            gc_every: 0,
         }
     }
 }
@@ -180,6 +198,19 @@ pub struct EngineStats {
     pub tables: usize,
     /// Rows across every loaded table (live + tombstoned slots).
     pub total_rows: u64,
+    /// MVCC clock / snapshot / vacuum counters (`Some` iff
+    /// [`EngineConfig::mvcc`]).
+    pub mvcc: Option<MvccStats>,
+    /// Total wall-clock time query legs spent waiting to acquire shard
+    /// read locks (ms). This is real blocking — readers queued behind a
+    /// writer's (or vacuum's) write-lock hold — not simulated I/O.
+    pub read_stall_ms: f64,
+    /// Read-lock acquisitions that waited longer than
+    /// [`Engine::STALL_FLOOR`] — i.e. actual stalls, not the
+    /// nanosecond-scale cost of an uncontended acquisition.
+    pub read_stalls: u64,
+    /// Longest single read-lock wait a query leg observed (ms).
+    pub read_stall_max_ms: f64,
 }
 
 /// One executed leg of a query: the shard it ran on, the path chosen
@@ -282,7 +313,38 @@ pub struct Engine {
     /// WAL record count at the last image install (drives the
     /// `checkpoint_every` trigger).
     pub(crate) ckpt_records: AtomicU64,
+    /// The MVCC commit clock / commit table / snapshot registry
+    /// (`Some` iff [`EngineConfig::mvcc`]).
+    pub(crate) mvcc: Option<Arc<MvccState>>,
+    /// Versions ended since the last vacuum pass (drives the
+    /// `gc_every` trigger).
+    gc_deletes: AtomicU64,
+    /// Serializes vacuum passes (the auto-vacuum in [`Engine::commit`]
+    /// skips when one is in flight; explicit [`Engine::vacuum`] blocks).
+    vacuum_lock: parking_lot::Mutex<()>,
+    /// Serializes online (MVCC) design swaps — two concurrent
+    /// [`Engine::apply_design`] calls must not interleave their per-shard
+    /// build/install phases. Queries never take this lock.
+    design_lock: parking_lot::Mutex<()>,
+    /// Wall-clock nanoseconds query legs spent waiting on shard read
+    /// locks (see [`EngineStats::read_stall_ms`]).
+    read_stall_ns: AtomicU64,
+    /// Read-lock acquisitions that waited past [`Engine::STALL_FLOOR`].
+    read_stalls: AtomicU64,
+    /// Longest single read-lock wait (ns).
+    read_stall_max_ns: AtomicU64,
 }
+
+/// Versions a vacuum pass physically reclaims per shard write-lock
+/// hold. Between chunks the lock is released, bounding how long any
+/// concurrent reader can be held up by garbage collection.
+const VACUUM_CHUNK: usize = 128;
+
+/// Rows a batched insert lands per shard write-lock hold, for the same
+/// reason: one hold per chunk amortizes the per-row lock and WAL
+/// round-trips without turning a large batch into a single long
+/// exclusive hold that stalls every concurrent reader.
+const INSERT_CHUNK: usize = 128;
 
 impl Engine {
     /// Build an engine with `config.shards` storage shards (each its own
@@ -337,7 +399,44 @@ impl Engine {
             images: parking_lot::Mutex::new(Vec::new()),
             ckpt_lock: parking_lot::Mutex::new(()),
             ckpt_records: AtomicU64::new(0),
+            mvcc: config.mvcc.then(|| Arc::new(MvccState::new())),
+            gc_deletes: AtomicU64::new(0),
+            vacuum_lock: parking_lot::Mutex::new(()),
+            design_lock: parking_lot::Mutex::new(()),
+            read_stall_ns: AtomicU64::new(0),
+            read_stalls: AtomicU64::new(0),
+            read_stall_max_ns: AtomicU64::new(0),
         }))
+    }
+
+    /// The engine's MVCC state, when [`EngineConfig::mvcc`] is on.
+    pub fn mvcc_state(&self) -> Option<&Arc<MvccState>> {
+        self.mvcc.as_ref()
+    }
+
+    /// MVCC counters (commit clock, live snapshots, GC work); `None`
+    /// when MVCC is off.
+    pub fn mvcc_stats(&self) -> Option<MvccStats> {
+        self.mvcc.as_ref().map(|mv| mv.stats())
+    }
+
+    /// Versions that have ended but not yet been reclaimed, summed over
+    /// every loaded table — the version-chain-length signal a vacuum
+    /// pass would work through. Always 0 when MVCC is off.
+    pub fn dead_versions(&self) -> u64 {
+        if self.mvcc.is_none() {
+            return 0;
+        }
+        let entries: Vec<Arc<TableEntry>> = self.catalog.read().values().cloned().collect();
+        let mut dead = 0u64;
+        for entry in entries {
+            let loaded = entry.loaded.read();
+            let Some(lt) = loaded.as_ref() else { continue };
+            for part in &lt.parts {
+                dead += part.read().dead_versions();
+            }
+        }
+        dead
     }
 
     /// Number of storage shards.
@@ -638,9 +737,14 @@ impl Engine {
     /// structure on every shard, and statistics are refreshed so the
     /// planner can route through the new set immediately.
     ///
-    /// The table's load lock is taken **exclusively** for the switch, so
-    /// no in-flight query observes a half-applied design — queries
-    /// planned after the switch see only the new structures.
+    /// Without MVCC the table's load lock is taken **exclusively** for
+    /// the switch, so no in-flight query observes a half-applied design —
+    /// queries planned after the switch see only the new structures.
+    /// With [`EngineConfig::mvcc`] the switch is **online**: the new set
+    /// is built per shard under the shard *read* lock (readers and
+    /// writers proceed), then installed in a brief write-locked flip
+    /// that first catches up any rows appended during the build
+    /// ([`Table::catch_up_structures`]).
     pub fn apply_design(&self, table: &str, design: &DesignSet) -> Result<AppliedDesign> {
         let entry = self.entry(table)?;
         let arity = entry.schema.arity();
@@ -653,6 +757,9 @@ impl Engine {
             .filter(|c| c.structure.is_some())
             .map(|c| c.col)
             .collect();
+        if self.mvcc.is_some() {
+            return self.apply_design_online(&entry, design, &analyze);
+        }
         let loaded = entry.loaded.write();
         let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
         let mut applied = AppliedDesign { btrees: 0, cms: 0, dropped: 0 };
@@ -681,6 +788,63 @@ impl Engine {
             }
             if !analyze.is_empty() {
                 t.analyze_cols(&analyze);
+            }
+        }
+        self.log_design_change(&entry.name, &lt.parts[0].read());
+        Ok(applied)
+    }
+
+    /// The online (MVCC) design switch: per shard, build the new
+    /// structure set from the current heap under the shard **read**
+    /// lock — concurrent queries keep running, writers keep appending —
+    /// then take the write lock only to replay the rows appended during
+    /// the build into the new set and flip it in
+    /// ([`Table::install_access_structures`] bumps the design epoch).
+    /// Rows whose version has ended are still indexed: older snapshots
+    /// reach them through the structures and filter at visit time.
+    fn apply_design_online(
+        &self,
+        entry: &TableEntry,
+        design: &DesignSet,
+        analyze: &[usize],
+    ) -> Result<AppliedDesign> {
+        let _serialized = self.design_lock.lock();
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        let mut applied = AppliedDesign { btrees: 0, cms: 0, dropped: 0 };
+        for (i, part) in lt.parts.iter().enumerate() {
+            // Build phase (read lock): construct the new set from a
+            // consistent view of the shard heap.
+            let t = part.read();
+            let built_len = t.heap().len();
+            let mut secs = Vec::new();
+            let mut cms = Vec::new();
+            for cd in &design.columns {
+                match &cd.structure {
+                    Structure::None => {}
+                    Structure::BTree => secs.push(t.build_secondary(
+                        self.backends[i].disk(),
+                        format!("adv_btree_{}", cd.col),
+                        vec![cd.col],
+                    )),
+                    Structure::Cm(spec) => {
+                        cms.push(t.build_cm(format!("adv_cm_{}", cd.col), spec.clone()))
+                    }
+                }
+            }
+            drop(t);
+            // Swap phase (brief write lock): catch up and install.
+            let mut t = part.write();
+            if i == 0 {
+                applied.dropped = t.secondaries().len() + t.cms().len();
+                applied.btrees = secs.len();
+                applied.cms = cms.len();
+            }
+            t.catch_up_structures(self.backends[i].pool(), built_len, &mut secs, &mut cms)
+                .map_err(EngineError::Storage)?;
+            t.install_access_structures(secs, cms);
+            if !analyze.is_empty() {
+                t.analyze_cols(analyze);
             }
         }
         self.log_design_change(&entry.name, &lt.parts[0].read());
@@ -891,7 +1055,11 @@ impl Engine {
             else {
                 continue;
             };
-            let mut choice = self.planner.choose(&lt.parts[i].read(), &sub);
+            let waited = std::time::Instant::now();
+            let part = lt.parts[i].read();
+            self.note_read_stall(waited.elapsed());
+            let mut choice = self.planner.choose(&part, &sub);
+            drop(part);
             if let Some(p) = forced {
                 choice.est_ms = choice
                     .alternatives
@@ -920,15 +1088,21 @@ impl Engine {
         leg: &ShardLeg,
         collect: bool,
         cold: bool,
+        snap: Option<&Snapshot>,
     ) -> Result<(RunResult, Vec<Row>)> {
+        let waited = std::time::Instant::now();
         let part = lt.parts[leg.shard].read();
+        self.note_read_stall(waited.elapsed());
         let t = &*part;
         let backend = &self.backends[leg.shard];
-        let ctx = if cold {
+        let mut ctx = if cold {
             ExecContext::cold(backend.disk())
         } else {
             ExecContext::through(backend.disk(), backend.pool())
         };
+        if let Some(s) = snap {
+            ctx = ctx.at_snapshot(s);
+        }
         let mut rows: Vec<Row> = Vec::new();
         let mut visit = |row: &[cm_storage::Value]| {
             if collect {
@@ -998,9 +1172,23 @@ impl Engine {
         cold: bool,
     ) -> Result<QueryOutcome> {
         let entry = self.entry(table)?;
+        // The table-level lock is the reader's first blocking point: an
+        // offline (non-MVCC) `apply_design` holds its *write* side for
+        // the whole rebuild, so the wait belongs in the stall counters
+        // alongside the shard-lock waits.
+        let waited = std::time::Instant::now();
         let loaded = entry.loaded.read();
+        self.note_read_stall(waited.elapsed());
         let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
         self.profile_read(&entry, lt, q);
+
+        // MVCC engines read at a snapshot: acquired once, before the
+        // plan phase, so every fan-out leg filters row visibility at
+        // the same clock tick however the legs are scheduled. The
+        // registration pins the timestamp against vacuum until the
+        // query (all legs) is done.
+        let snap = self.mvcc.as_ref().map(|mv| mv.begin());
+        let snap_ref = snap.as_ref();
 
         // Plan phase: routing + per-shard path choices, snapshotted.
         let plan = self.plan_query(lt, q, forced);
@@ -1012,12 +1200,15 @@ impl Engine {
         // surfacing the first failed leg's error loses nothing.
         let leg_runs: Vec<Result<(RunResult, Vec<Row>)>> =
             if plan.legs.len() <= 1 || self.executor.workers() == 1 {
-                plan.legs.iter().map(|leg| self.run_leg(lt, leg, collect, cold)).collect()
+                plan.legs
+                    .iter()
+                    .map(|leg| self.run_leg(lt, leg, collect, cold, snap_ref))
+                    .collect()
             } else {
                 self.executor.run(
                     plan.legs
                         .iter()
-                        .map(|leg| move || self.run_leg(lt, leg, collect, cold))
+                        .map(|leg| move || self.run_leg(lt, leg, collect, cold, snap_ref))
                         .collect(),
                 )
             };
@@ -1100,6 +1291,16 @@ impl Engine {
             let mut t = lt.parts[shard].write();
             let redo_row = row.clone();
             let rid = t.insert_row(self.backends[shard].pool(), Some(&mut batch), row)?;
+            if let Some(mv) = &self.mvcc {
+                // Autocommit single-shard writes stamp a plain commit
+                // timestamp directly: any snapshot new enough to see it
+                // is still waiting on this shard's write lock. Session
+                // transactions stamp their txn marker, resolved by the
+                // commit table at `log_commit`.
+                let begin =
+                    if txn == AUTOCOMMIT_TXN { mv.next_ts() } else { pending_stamp(txn) };
+                t.set_begin_stamp(rid, begin);
+            }
             batch.push(
                 txn,
                 &LogPayload::Insert {
@@ -1115,6 +1316,96 @@ impl Engine {
         self.inserts.fetch_add(1, Ordering::Relaxed);
         entry.profile.lock().note_write();
         Ok(Rid::sharded(shard, rid))
+    }
+
+    /// INSERT a batch of rows with one shard-lock hold per touched
+    /// shard (autocommit).
+    pub fn insert_many(&self, table: &str, rows: Vec<Row>) -> Result<Vec<Rid>> {
+        self.insert_many_txn(table, rows, AUTOCOMMIT_TXN)
+    }
+
+    /// [`Engine::insert_many`] tagged with a session transaction id.
+    ///
+    /// Rows are routed to their shards up front, then each shard group
+    /// is inserted — heap append, access-structure maintenance, MVCC
+    /// begin stamps, and the typed redo records — under a *single*
+    /// write-lock acquisition, with one WAL batch appended before that
+    /// lock drops. Row-at-a-time ingest takes the lock and logs once
+    /// per row, so a burst of inserts becomes a stream of short
+    /// exclusive holds that concurrent readers keep tripping over;
+    /// batching amortizes both. Groups larger than `INSERT_CHUNK` (128)
+    /// rows release the lock between chunks so a bulk load never
+    /// becomes one long exclusive hold. Returned rids line up with the
+    /// input row order.
+    pub fn insert_many_txn(&self, table: &str, rows: Vec<Row>, txn: u64) -> Result<Vec<Rid>> {
+        let entry = self.entry(table)?;
+        for row in &rows {
+            entry.schema.validate(row).map_err(EngineError::Storage)?;
+        }
+        let loaded = entry.loaded.read();
+        let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
+        let total = rows.len();
+        let mut by_shard: Vec<Vec<(usize, Row)>> = vec![Vec::new(); lt.parts.len()];
+        for (pos, row) in rows.into_iter().enumerate() {
+            by_shard[lt.router.shard_of_row(&row)].push((pos, row));
+        }
+        let mut rids: Vec<Rid> = vec![Rid(0); total];
+        for (shard, group) in by_shard.into_iter().enumerate() {
+            let mut queued = group.into_iter().peekable();
+            while queued.peek().is_some() {
+                let mut batch = WalBatch::new();
+                let mut t = lt.parts[shard].write();
+                let mut failed = None;
+                for (pos, row) in queued.by_ref().take(INSERT_CHUNK) {
+                    let redo_row = row.clone();
+                    match t.insert_row(self.backends[shard].pool(), Some(&mut batch), row) {
+                        Ok(rid) => {
+                            if let Some(mv) = &self.mvcc {
+                                // Same stamping rule as `insert_txn`:
+                                // plain commit timestamps for autocommit
+                                // (no snapshot new enough to see them
+                                // can be running — it would be waiting
+                                // on this write lock), pending markers
+                                // for session transactions.
+                                let begin = if txn == AUTOCOMMIT_TXN {
+                                    mv.next_ts()
+                                } else {
+                                    pending_stamp(txn)
+                                };
+                                t.set_begin_stamp(rid, begin);
+                            }
+                            batch.push(
+                                txn,
+                                &LogPayload::Insert {
+                                    table: entry.name.clone(),
+                                    shard: shard as u16,
+                                    rid: rid.0,
+                                    row: redo_row,
+                                },
+                            );
+                            self.inserts.fetch_add(1, Ordering::Relaxed);
+                            rids[pos] = Rid::sharded(shard, rid);
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                // Even on a mid-chunk failure the records gathered so
+                // far go to the log before the lock drops: a fuzzy
+                // checkpoint may already have imaged the rows that
+                // *did* land, so the log must cover them (same
+                // ordering rule as `insert_txn`).
+                self.wal.append_batch(&batch);
+                drop(t);
+                if let Some(e) = failed {
+                    return Err(e.into());
+                }
+            }
+        }
+        entry.profile.lock().note_writes(total as u64);
+        Ok(rids)
     }
 
     /// DELETE one row by (shard-tagged) RID, retracting it from every
@@ -1140,7 +1431,20 @@ impl Engine {
         // ordering guarantee as `insert_txn`.
         let row = {
             let mut t = lt.parts[shard].write();
-            let row = t.delete_row(self.backends[shard].pool(), Some(&mut batch), rid.local())?;
+            let row = if let Some(mv) = &self.mvcc {
+                // MVCC delete: only end-stamp the version. Heap bytes and
+                // access-structure entries stay for older snapshots; vacuum
+                // reclaims them once no live snapshot can see the version.
+                if t.stamp_of(rid.local()).1 != LIVE_TS {
+                    return Err(EngineError::BadRid { table: entry.name.clone(), rid: rid.0 });
+                }
+                let end =
+                    if txn == AUTOCOMMIT_TXN { mv.next_ts() } else { pending_stamp(txn) };
+                t.end_version(self.backends[shard].pool(), rid.local(), end)
+                    .map_err(EngineError::Storage)?
+            } else {
+                t.delete_row(self.backends[shard].pool(), Some(&mut batch), rid.local())?
+            };
             batch.push(
                 txn,
                 &LogPayload::Delete {
@@ -1153,6 +1457,9 @@ impl Engine {
             self.wal.append_batch(&batch);
             row
         };
+        if self.mvcc.is_some() {
+            self.gc_deletes.fetch_add(1, Ordering::Relaxed);
+        }
         self.deletes.fetch_add(1, Ordering::Relaxed);
         entry.profile.lock().note_write();
         Ok(row)
@@ -1171,6 +1478,9 @@ impl Engine {
         sub: &Query,
         txn: u64,
     ) -> Result<Vec<Rid>> {
+        if let Some(mv) = &self.mvcc {
+            return self.delete_where_leg_mvcc(entry, lt, shard, sub, txn, mv);
+        }
         let mut batch = WalBatch::new();
         let mut tagged: Vec<Rid> = Vec::new();
         let mut t = lt.parts[shard].write();
@@ -1211,6 +1521,78 @@ impl Engine {
         Ok(tagged)
     }
 
+    /// The MVCC shape of [`Engine::delete_where`]'s per-shard leg: the
+    /// victim scan runs under the shard *read* lock against a fresh
+    /// snapshot (concurrent readers keep flowing), then a brief write
+    /// lock end-stamps the victims with the transaction's pending mark.
+    /// Rows whose end stamp changed between the two phases — another
+    /// writer got there first, or vacuum reclaimed the slot — are
+    /// skipped, so the delete never clobbers a concurrent writer. The
+    /// [`LogPayload::DeleteSet`] record is appended inside the write
+    /// lock for the same fuzzy-checkpoint ordering guarantee as the
+    /// non-MVCC leg.
+    fn delete_where_leg_mvcc(
+        &self,
+        entry: &TableEntry,
+        lt: &LoadedTable,
+        shard: usize,
+        sub: &Query,
+        txn: u64,
+        mv: &Arc<MvccState>,
+    ) -> Result<Vec<Rid>> {
+        let pool = self.backends[shard].pool();
+        // Phase 1: snapshot scan under the read lock.
+        let mut local: Vec<Rid> = Vec::new();
+        {
+            let t = lt.parts[shard].read();
+            let snap = mv.begin();
+            let pages = t.heap().num_pages();
+            if pages > 0 {
+                let tpp = t.heap().tups_per_page() as u64;
+                t.heap().read_run_visit(pool, 0, pages - 1, |page, page_rows| {
+                    let start = page * tpp;
+                    for (j, row) in page_rows.iter().enumerate() {
+                        let rid = Rid(start + j as u64);
+                        let (b, e) = t.stamp_of(rid);
+                        if sub.matches(row) && snap.sees(b, e) {
+                            local.push(rid);
+                        }
+                    }
+                })?;
+            }
+        }
+        // Phase 2: brief write lock — stamp, log, done.
+        let mut batch = WalBatch::new();
+        let mut tagged: Vec<Rid> = Vec::new();
+        let mut victims_log: Vec<(u64, Row)> = Vec::with_capacity(local.len());
+        {
+            let mut t = lt.parts[shard].write();
+            for &rid in &local {
+                if t.stamp_of(rid).1 != LIVE_TS {
+                    continue;
+                }
+                let row = t
+                    .end_version(pool, rid, pending_stamp(txn))
+                    .map_err(EngineError::Storage)?;
+                victims_log.push((rid.0, row));
+                tagged.push(Rid::sharded(shard, rid));
+            }
+            if !victims_log.is_empty() {
+                batch.push(
+                    txn,
+                    &LogPayload::DeleteSet {
+                        table: entry.name.clone(),
+                        shard: shard as u16,
+                        victims: victims_log,
+                    },
+                );
+            }
+            self.wal.append_batch(&batch);
+        }
+        self.gc_deletes.fetch_add(tagged.len() as u64, Ordering::Relaxed);
+        Ok(tagged)
+    }
+
     /// DELETE every row matching `q` (found by a charged scan of the
     /// overlapping shards); returns the victims' shard-tagged RIDs, in
     /// shard order. Like reads, the per-shard legs fan out on the worker
@@ -1224,6 +1606,17 @@ impl Engine {
     /// each shard leg logs one [`LogPayload::DeleteSet`] record carrying
     /// its victims' before-images under `txn`.
     pub fn delete_where_txn(&self, table: &str, q: &Query, txn: u64) -> Result<Vec<Rid>> {
+        // An MVCC autocommit purge spans shards, so it cannot use plain
+        // timestamps (a snapshot taken between two legs would see a torn
+        // half-delete). It borrows an internal transaction instead: legs
+        // stamp its pending mark, and visibility flips atomically at the
+        // commit record appended below once every leg succeeded. On a leg
+        // error the commit never happens — the stamps stay unresolvable
+        // (invisible as deletes) and recovery rolls the log records back.
+        let (txn, implicit) = match &self.mvcc {
+            Some(_) if txn == AUTOCOMMIT_TXN => (self.alloc_txn(), true),
+            _ => (txn, false),
+        };
         let entry = self.entry(table)?;
         let loaded = entry.loaded.read();
         let lt = loaded.as_ref().ok_or_else(|| EngineError::NotLoaded(entry.name.clone()))?;
@@ -1271,7 +1664,12 @@ impl Engine {
         }
         match first_err {
             Some(e) => Err(e),
-            None => Ok(victims),
+            None => {
+                if implicit {
+                    self.log_commit(txn);
+                }
+                Ok(victims)
+            }
         }
     }
 
@@ -1283,7 +1681,90 @@ impl Engine {
     pub fn commit(&self) -> IoStats {
         let io = self.wal.commit();
         self.maybe_checkpoint();
+        self.maybe_vacuum();
         io
+    }
+
+    /// Multi-version garbage collection: under each shard's write lock,
+    /// rewrite every resolvable pending stamp to its plain commit
+    /// timestamp, then physically reclaim (heap tombstone + access
+    /// structure retraction) the versions whose end timestamp is at or
+    /// below the oldest live snapshot — no current or future reader can
+    /// see them. Returns `(stamps_resolved, versions_reclaimed)`; a
+    /// no-op `(0, 0)` without MVCC. Logs nothing: the logical deletes
+    /// that ended these versions are already in the WAL, and a
+    /// checkpoint image materializes ended versions as tombstones.
+    ///
+    /// Reclaim work is chunked (see [`vacuum_locked`](Self::vacuum)
+    /// internals): each shard write-lock hold retracts at most
+    /// `VACUUM_CHUNK` versions, keeping reader stalls bounded however
+    /// large the dead backlog has grown.
+    pub fn vacuum(&self) -> Result<(u64, u64)> {
+        let _serialized = self.vacuum_lock.lock();
+        self.vacuum_locked()
+    }
+
+    /// The vacuum pass body; callers must hold `vacuum_lock`.
+    ///
+    /// Physical reclaim chunks its shard write-lock holds at
+    /// [`VACUUM_CHUNK`] versions, so a reader arriving mid-vacuum waits
+    /// for one bounded chunk instead of the whole backlog.
+    fn vacuum_locked(&self) -> Result<(u64, u64)> {
+        let Some(mv) = &self.mvcc else { return Ok((0, 0)) };
+        // Commit-table entries at or below the clock *now* are prunable
+        // afterwards: a transaction's stamps are all written before its
+        // commit record, so this pass rewrites every one of them.
+        let cutoff = mv.now();
+        let oldest = mv.oldest_live();
+        let entries: Vec<Arc<TableEntry>> = self.catalog.read().values().cloned().collect();
+        let mut resolved = 0u64;
+        let mut reclaimed = 0u64;
+        for entry in entries {
+            let loaded = entry.loaded.read();
+            let Some(lt) = loaded.as_ref() else { continue };
+            for (i, part) in lt.parts.iter().enumerate() {
+                // One hold rewrites stamps and collects the victims...
+                let victims = {
+                    let mut t = part.write();
+                    resolved += t.resolve_stamps(|stamp| mv.resolve(stamp));
+                    t.reclaimable(oldest)
+                };
+                // ...then the physical reclaim runs in bounded holds so
+                // concurrent readers never wait out a full pass. Rids
+                // are stable slot ids, nothing resurrects an ended
+                // version, and `vacuum_lock` keeps other vacuums out,
+                // so releasing the shard between chunks is safe.
+                for chunk in victims.chunks(VACUUM_CHUNK) {
+                    let mut t = part.write();
+                    for rid in chunk {
+                        t.delete_row(self.backends[i].pool(), None, *rid)?;
+                        reclaimed += 1;
+                    }
+                }
+            }
+        }
+        mv.prune_commits(cutoff);
+        mv.note_resolved(resolved);
+        mv.note_reclaimed(reclaimed);
+        mv.note_vacuum();
+        Ok((resolved, reclaimed))
+    }
+
+    /// Auto-vacuum trigger, piggybacked on commit points: runs a
+    /// [`Engine::vacuum`] pass once [`EngineConfig::gc_every`] MVCC
+    /// deletes have accumulated. Skips (rather than queues) when a
+    /// vacuum is already running.
+    pub(crate) fn maybe_vacuum(&self) {
+        if self.mvcc.is_none() || self.config.gc_every == 0 {
+            return;
+        }
+        if self.gc_deletes.load(Ordering::Relaxed) < self.config.gc_every {
+            return;
+        }
+        if let Some(_serialized) = self.vacuum_lock.try_lock() {
+            self.gc_deletes.store(0, Ordering::Relaxed);
+            let _ = self.vacuum_locked();
+        }
     }
 
     /// Allocate a fresh transaction id for a session's write batch.
@@ -1295,9 +1776,20 @@ impl Engine {
 
     /// Append a commit record for `txn` (no-op for [`AUTOCOMMIT_TXN`]).
     /// Durability still requires a subsequent [`Engine::commit`] flush.
+    ///
+    /// Under MVCC this is also the *visibility* point: the transaction
+    /// gets its commit timestamp from the global clock, the commit
+    /// table resolves the transaction's pending stamps, and the record
+    /// carries the timestamp so recovery can restore the clock.
+    /// Non-MVCC engines log `ts = 0`.
     pub fn log_commit(&self, txn: u64) {
         if txn != AUTOCOMMIT_TXN {
-            self.wal.log(txn, &LogPayload::Commit);
+            let ts = match &self.mvcc {
+                Some(mv) => mv.commit_txn(txn),
+                None => 0,
+            };
+            self.wal.log(txn, &LogPayload::Commit { ts });
+            self.maybe_vacuum();
         }
     }
 
@@ -1342,6 +1834,29 @@ impl Engine {
             wal: self.wal.stats(),
             tables: infos.len(),
             total_rows: infos.iter().map(|i| i.rows).sum(),
+            mvcc: self.mvcc_stats(),
+            read_stall_ms: self.read_stall_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            read_stalls: self.read_stalls.load(Ordering::Relaxed),
+            read_stall_max_ms: self.read_stall_max_ns.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+
+    /// Shortest read-lock wait counted as a stall in
+    /// [`EngineStats::read_stalls`]: waits under 50µs are the ordinary
+    /// cost of an uncontended acquisition (plus timer noise), not a
+    /// reader blocked behind a writer. The *total* in
+    /// [`EngineStats::read_stall_ms`] accumulates every wait regardless,
+    /// so mean wait-per-read stays unbiased.
+    pub const STALL_FLOOR: Duration = Duration::from_micros(50);
+
+    /// Fold one shard-read-lock acquisition wait into the stall counters
+    /// (see [`EngineStats::read_stall_ms`]).
+    fn note_read_stall(&self, waited: Duration) {
+        let ns = waited.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.read_stall_ns.fetch_add(ns, Ordering::Relaxed);
+        if waited >= Self::STALL_FLOOR {
+            self.read_stalls.fetch_add(1, Ordering::Relaxed);
+            self.read_stall_max_ns.fetch_max(ns, Ordering::Relaxed);
         }
     }
 
@@ -2298,5 +2813,394 @@ mod tests {
             Engine::recover(EngineConfig::default(), &state),
             Err(EngineError::Recovery(_))
         ));
+    }
+
+    // ---------------------------------------------------------- MVCC
+
+    fn mvcc_engine_with(config: EngineConfig) -> Arc<Engine> {
+        demo_engine_with(EngineConfig { mvcc: true, ..config })
+    }
+
+    /// A hand-rolled design set (cost fields zeroed — tests apply it
+    /// directly rather than ranking it).
+    fn design_of(columns: Vec<(usize, Structure)>) -> DesignSet {
+        DesignSet {
+            columns: columns
+                .into_iter()
+                .map(|(col, structure)| cm_advisor::ColumnDesign {
+                    col,
+                    structure,
+                    cold_read_ms: 0.0,
+                    maintenance_ms: 0.0,
+                })
+                .collect(),
+            read_ms: 0.0,
+            write_ms: 0.0,
+            total_ms: 0.0,
+            working_set_pages: 0.0,
+            miss_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn mvcc_autocommit_writes_are_immediately_visible() {
+        let engine = mvcc_engine_with(EngineConfig::default());
+        let rid = engine.insert("items", vec![Value::Int(7), Value::Int(90_001)]).unwrap();
+        let hit = engine.execute("items", &Query::single(Pred::eq(1, 90_001i64))).unwrap();
+        assert_eq!(hit.run.matched, 1, "autocommit insert visible to the next query");
+        engine.delete("items", rid).unwrap();
+        let gone = engine.execute("items", &Query::single(Pred::eq(1, 90_001i64))).unwrap();
+        assert_eq!(gone.run.matched, 0, "autocommit delete visible to the next query");
+        // The version is end-stamped, not physically removed.
+        assert_eq!(engine.dead_versions(), 1);
+    }
+
+    #[test]
+    fn mvcc_session_writes_invisible_until_commit() {
+        let engine = mvcc_engine_with(EngineConfig::default());
+        let session = engine.session();
+        session.insert("items", vec![Value::Int(3), Value::Int(91_000)]).unwrap();
+        session.delete_where("items", &Query::single(Pred::eq(0, 42i64))).unwrap();
+        // Pending stamps: the transaction has not committed, so readers
+        // (including this session's own queries — reads run at a fresh
+        // snapshot, there is no read-your-own-writes) see the old state.
+        let ins = engine.execute("items", &Query::single(Pred::eq(1, 91_000i64))).unwrap();
+        assert_eq!(ins.run.matched, 0, "uncommitted insert invisible");
+        let del = engine.execute("items", &Query::single(Pred::eq(0, 42i64))).unwrap();
+        assert_eq!(del.run.matched, 50, "uncommitted delete invisible");
+        session.commit();
+        let ins = engine.execute("items", &Query::single(Pred::eq(1, 91_000i64))).unwrap();
+        assert_eq!(ins.run.matched, 1, "committed insert visible");
+        let del = engine.execute("items", &Query::single(Pred::eq(0, 42i64))).unwrap();
+        assert_eq!(del.run.matched, 0, "committed delete visible");
+    }
+
+    #[test]
+    fn mvcc_multi_shard_delete_where_flips_atomically() {
+        let engine = mvcc_engine_with(EngineConfig { shards: 4, ..EngineConfig::default() });
+        // A clustered range spanning every shard.
+        let victims = engine
+            .delete_where("items", &Query::single(Pred::between(0, 0i64, 99i64)))
+            .unwrap();
+        assert_eq!(victims.len(), 5000);
+        let left = engine.execute("items", &all_live()).unwrap();
+        assert_eq!(left.run.matched, 0, "the purge is visible after the internal commit");
+        assert_eq!(engine.dead_versions(), 5000);
+    }
+
+    #[test]
+    fn mvcc_vacuum_reclaims_dead_versions() {
+        let engine = mvcc_engine_with(EngineConfig::default());
+        engine.delete_where("items", &Query::single(Pred::eq(0, 5i64))).unwrap();
+        assert_eq!(engine.dead_versions(), 50);
+        let (resolved, reclaimed) = engine.vacuum().unwrap();
+        assert!(resolved >= 50, "pending end stamps rewritten to commit timestamps");
+        assert_eq!(reclaimed, 50, "no live snapshot pins the versions");
+        assert_eq!(engine.dead_versions(), 0);
+        let stats = engine.mvcc_stats().unwrap();
+        assert_eq!(stats.reclaimed_versions, 50);
+        assert!(stats.vacuum_runs >= 1);
+        // The reclaim is physical: a repeat vacuum finds nothing.
+        assert_eq!(engine.vacuum().unwrap(), (0, 0));
+        // Reads over the reclaimed range still answer correctly.
+        let out = engine.execute("items", &Query::single(Pred::eq(0, 5i64))).unwrap();
+        assert_eq!(out.run.matched, 0);
+        assert_eq!(engine.execute("items", &all_live()).unwrap().run.matched, 4950);
+    }
+
+    #[test]
+    fn mvcc_vacuum_spares_versions_a_live_snapshot_sees() {
+        let engine = mvcc_engine_with(EngineConfig::default());
+        let mv = engine.mvcc_state().unwrap().clone();
+        let pin = mv.begin(); // a reader that started before the delete
+        engine.delete_where("items", &Query::single(Pred::eq(0, 9i64))).unwrap();
+        let (_, reclaimed) = engine.vacuum().unwrap();
+        assert_eq!(reclaimed, 0, "the pinned snapshot still sees the versions");
+        assert!(pin.sees(1, LIVE_TS));
+        drop(pin);
+        let (_, reclaimed) = engine.vacuum().unwrap();
+        assert_eq!(reclaimed, 50, "reclaimable once the snapshot closes");
+    }
+
+    #[test]
+    fn mvcc_auto_vacuum_fires_on_commit_threshold() {
+        let engine =
+            mvcc_engine_with(EngineConfig { gc_every: 10, ..EngineConfig::default() });
+        let session = engine.session();
+        session.delete_where("items", &Query::single(Pred::eq(0, 3i64))).unwrap();
+        session.commit();
+        let stats = engine.mvcc_stats().unwrap();
+        assert!(stats.vacuum_runs >= 1, "50 deletes crossed the gc_every=10 threshold");
+        assert_eq!(engine.dead_versions(), 0);
+    }
+
+    #[test]
+    fn mvcc_uncommitted_delete_where_leg_error_leaves_rows_readable() {
+        // First-writer-wins: a second delete_where racing the same rows
+        // skips already-ended versions instead of clobbering them.
+        let engine = mvcc_engine_with(EngineConfig::default());
+        let s1 = engine.session();
+        let v1 = s1.delete_where("items", &Query::single(Pred::eq(0, 8i64))).unwrap();
+        assert_eq!(v1.len(), 50);
+        let s2 = engine.session();
+        let v2 = s2.delete_where("items", &Query::single(Pred::eq(0, 8i64))).unwrap();
+        // s1's pending end stamps are invisible to s2's victim snapshot,
+        // so s2 scans the same rows — but the write phase skips every
+        // already-stamped version.
+        assert!(v2.is_empty(), "second writer cannot re-delete pending-ended versions");
+    }
+
+    #[test]
+    fn mvcc_snapshot_pins_a_consistent_read_under_a_racing_purge() {
+        let engine = mvcc_engine_with(EngineConfig { shards: 2, ..EngineConfig::default() });
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let purger = engine.clone();
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                for round in 0..30i64 {
+                    purger
+                        .delete_where("items", &Query::single(Pred::eq(0, round % 100)))
+                        .unwrap();
+                    for i in 0..50i64 {
+                        purger
+                            .insert(
+                                "items",
+                                vec![Value::Int(round % 100), Value::Int((round % 100) * 100 + i)],
+                            )
+                            .unwrap();
+                    }
+                }
+                stop_ref.store(true, Ordering::Relaxed);
+            });
+            // Each query sees every category either fully present (50
+            // rows) or fully purged (0) — never a torn prefix, even while
+            // the purge's legs span both shards.
+            while !stop.load(Ordering::Relaxed) {
+                let out = engine
+                    .execute("items", &Query::single(Pred::eq(0, 17i64)))
+                    .unwrap();
+                assert!(
+                    out.run.matched == 50 || out.run.matched == 0,
+                    "torn category read: {} rows",
+                    out.run.matched
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn mvcc_apply_design_stays_online_under_readers() {
+        // The rebuild must hold only read locks while it builds: readers
+        // that start after the rebuild begins keep completing before it
+        // ends. (The pre-MVCC path takes `loaded.write()` up front, which
+        // would stall every one of them for the whole rebuild.)
+        let engine = mvcc_engine_with(EngineConfig::default());
+        let design = design_of(vec![
+            (1, Structure::BTree),
+            (1, Structure::Cm(CmSpec::single_pow2(1, 4))),
+        ]);
+        let in_flight = std::sync::atomic::AtomicBool::new(false);
+        let overlapped = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            let designer = engine.clone();
+            let in_flight_ref = &in_flight;
+            scope.spawn(move || {
+                in_flight_ref.store(true, Ordering::SeqCst);
+                for _ in 0..40 {
+                    designer.apply_design("items", &design).unwrap();
+                }
+                in_flight_ref.store(false, Ordering::SeqCst);
+            });
+            while !in_flight.load(Ordering::SeqCst) {
+                std::hint::spin_loop();
+            }
+            while in_flight.load(Ordering::SeqCst) {
+                let out = engine
+                    .execute("items", &Query::single(Pred::eq(0, 33i64)))
+                    .unwrap();
+                assert_eq!(out.run.matched, 50);
+                if in_flight.load(Ordering::SeqCst) {
+                    // Started and finished while a rebuild was running.
+                    overlapped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert!(
+            overlapped.load(Ordering::Relaxed) > 0,
+            "no read completed during 40 consecutive rebuilds — readers were blocked"
+        );
+        let info = engine.table_info("items").unwrap();
+        assert_eq!((info.secondaries, info.cms), (1, 1), "the design landed");
+        // The swapped-in structures answer queries.
+        let out = engine
+            .execute_via(
+                "items",
+                AccessPath::SecondarySorted(0),
+                &Query::single(Pred::eq(1, 1_719i64)),
+            )
+            .unwrap();
+        assert_eq!(out.run.matched, 50);
+    }
+
+    #[test]
+    fn mvcc_online_design_swap_indexes_rows_appended_mid_build() {
+        // Rows inserted between the read-locked build and the
+        // write-locked swap must land in the new structures (the
+        // catch-up step). Single-threaded shape: build against a loaded
+        // table, insert more rows, apply, then force the secondary path.
+        let engine = mvcc_engine_with(EngineConfig::default());
+        std::thread::scope(|scope| {
+            let writer = engine.clone();
+            scope.spawn(move || {
+                for i in 0..200i64 {
+                    writer
+                        .insert("items", vec![Value::Int(i % 100), Value::Int(70_000 + i)])
+                        .unwrap();
+                }
+            });
+            let design = design_of(vec![(1, Structure::BTree)]);
+            for _ in 0..10 {
+                engine.apply_design("items", &design).unwrap();
+            }
+        });
+        let q = Query::single(Pred::between(1, 70_000i64, 70_199i64));
+        let via_index =
+            engine.execute_via("items", AccessPath::SecondarySorted(0), &q).unwrap();
+        assert_eq!(via_index.run.matched, 200, "mid-build appends are indexed");
+    }
+
+    #[test]
+    fn table_infos_and_stats_stay_coherent_under_an_active_writer() {
+        // Satellite: the stats snapshot path (catalog read lock, then
+        // per-entry reads) must neither deadlock with nor tear against a
+        // writer holding shard write locks.
+        let engine = demo_engine_with(EngineConfig { shards: 2, ..EngineConfig::default() });
+        std::thread::scope(|scope| {
+            let writer = engine.clone();
+            scope.spawn(move || {
+                let session = writer.session();
+                for i in 0..400i64 {
+                    session
+                        .insert("items", vec![Value::Int(i % 100), Value::Int(40_000 + i)])
+                        .unwrap();
+                    if i % 50 == 49 {
+                        session.commit();
+                    }
+                }
+                session.commit();
+            });
+            for _ in 0..200 {
+                let infos = engine.table_infos();
+                assert_eq!(infos.len(), 1);
+                assert!(
+                    (5000..=5400).contains(&infos[0].rows),
+                    "row count within the write window: {}",
+                    infos[0].rows
+                );
+                let s = engine.stats();
+                assert!(s.total_rows >= 5000);
+                assert!(s.inserts <= 400);
+            }
+        });
+        assert_eq!(engine.table_infos()[0].rows, 5400);
+        assert_eq!(engine.stats().inserts, 400);
+    }
+
+    #[test]
+    fn mvcc_recovery_restores_the_committed_prefix_and_clock() {
+        let config = EngineConfig { mvcc: true, ..EngineConfig::default() };
+        let engine = mvcc_engine_with(EngineConfig::default());
+        let committed = engine.session();
+        for i in 0..30i64 {
+            committed
+                .insert("items", vec![Value::Int(i % 100), Value::Int(50_000 + i)])
+                .unwrap();
+        }
+        committed.delete_where("items", &Query::single(Pred::eq(0, 77i64))).unwrap();
+        committed.commit();
+        let expect = sorted_rows(&engine, &all_live());
+        // An uncommitted tail that must vanish.
+        let doomed = engine.session();
+        doomed.insert("items", vec![Value::Int(1), Value::Int(60_000)]).unwrap();
+        doomed.delete_where("items", &Query::single(Pred::eq(0, 50i64))).unwrap();
+        let clock_before = engine.mvcc_stats().unwrap().clock;
+        // Cut at the appended end: the doomed records survive the crash
+        // and must be rolled back by undo (their commit never logged).
+        let state = engine.crash_state(Some(engine.appended_log().len() as u64));
+        let (recovered, report) = Engine::recover(config, &state).unwrap();
+        assert_eq!(sorted_rows(&recovered, &all_live()), expect);
+        assert!(report.uncommitted_txns >= 1);
+        let clock_after = recovered.mvcc_stats().unwrap().clock;
+        assert!(
+            clock_after >= clock_before.saturating_sub(1),
+            "clock restored past the last durable commit: {clock_after} vs {clock_before}"
+        );
+        // The survivor allocates fresh timestamps and stays MVCC.
+        recovered.insert("items", vec![Value::Int(2), Value::Int(61_000)]).unwrap();
+        let hit = recovered
+            .execute("items", &Query::single(Pred::eq(1, 61_000i64)))
+            .unwrap();
+        assert_eq!(hit.run.matched, 1);
+        assert!(recovered.mvcc_stats().unwrap().clock > clock_after);
+    }
+
+    #[test]
+    fn mvcc_checkpoint_image_does_not_resurrect_committed_deletes() {
+        // A committed MVCC delete leaves real bytes end-stamped in the
+        // heap. A checkpoint image taken after it must materialize the
+        // slot as a tombstone: the delete record precedes `redo_lsn`, so
+        // nothing replays it.
+        let config = EngineConfig { mvcc: true, ..EngineConfig::default() };
+        let engine = mvcc_engine_with(EngineConfig::default());
+        let session = engine.session();
+        session.delete_where("items", &Query::single(Pred::eq(0, 21i64))).unwrap();
+        session.commit();
+        engine.checkpoint();
+        let expect = sorted_rows(&engine, &all_live());
+        let state = engine.crash_state(None);
+        let (recovered, _) = Engine::recover(config, &state).unwrap();
+        assert_eq!(sorted_rows(&recovered, &all_live()), expect);
+        let out = recovered.execute("items", &Query::single(Pred::eq(0, 21i64))).unwrap();
+        assert_eq!(out.run.matched, 0, "the purged category stays purged");
+    }
+
+    #[test]
+    fn insert_many_spans_shards_and_preserves_order() {
+        let engine = demo_engine_with(EngineConfig { shards: 4, ..EngineConfig::default() });
+        let rows: Vec<Row> = (0..300i64)
+            .map(|i| vec![Value::Int(i % 100), Value::Int(90_000 + i)])
+            .collect();
+        let rids = engine.insert_many("items", rows).unwrap();
+        assert_eq!(rids.len(), 300);
+        // Returned rids line up with input order even though the rows
+        // interleave across all four shards: deleting by the i-th rid
+        // must yield the i-th row.
+        let sampled: Vec<usize> = (0..300).step_by(37).collect();
+        for &i in &sampled {
+            let row = engine.delete("items", rids[i]).unwrap();
+            assert_eq!(row[1], Value::Int(90_000 + i as i64), "rid {i} maps to its row");
+        }
+        let out = engine
+            .execute("items", &Query::single(Pred::between(1, 90_000i64, 90_299i64)))
+            .unwrap();
+        assert_eq!(out.run.matched as usize, 300 - sampled.len());
+        assert_eq!(engine.stats().inserts, 300);
+    }
+
+    #[test]
+    fn insert_many_txn_stays_invisible_until_commit() {
+        let engine = mvcc_engine_with(EngineConfig { shards: 2, ..EngineConfig::default() });
+        let txn = engine.alloc_txn();
+        let rows: Vec<Row> = (0..150i64)
+            .map(|i| vec![Value::Int(i % 100), Value::Int(70_000 + i)])
+            .collect();
+        engine.insert_many_txn("items", rows, txn).unwrap();
+        let probe = Query::single(Pred::between(1, 70_000i64, 70_149i64));
+        let hidden = engine.execute("items", &probe).unwrap();
+        assert_eq!(hidden.run.matched, 0, "pending batch is invisible to snapshots");
+        engine.log_commit(txn);
+        let seen = engine.execute("items", &probe).unwrap();
+        assert_eq!(seen.run.matched, 150, "committed batch is fully visible");
     }
 }

@@ -41,6 +41,14 @@
 //! * a **mixed-workload driver** ([`workload`]): multi-threaded 90/10
 //!   read/write traffic through sessions, reporting throughput, simulated
 //!   I/O, and per-path routing counts;
+//! * **MVCC snapshot reads** (`EngineConfig::mvcc`): heap versions carry
+//!   begin/end timestamps, every query pins a commit-time snapshot and
+//!   reads under shard *read* locks (writers stop blocking readers —
+//!   categorical deletes scan without the write lock, and
+//!   [`Engine::apply_design`] rebuilds structures online behind a brief
+//!   swap), while [`Engine::vacuum`] — on demand or every
+//!   `EngineConfig::gc_every` deletes — reclaims versions no live
+//!   snapshot can see;
 //! * a **workload-aware design-advisor loop**: the engine records a
 //!   per-table [`WorkloadProfile`] online (per-column read traffic +
 //!   write count), [`Engine::advise_design`] enumerates mixed
@@ -131,7 +139,8 @@ pub use workload::{run_mixed, AdviceOutcome, LatencyStats, MixedWorkloadConfig, 
 // The workload-aware advisor vocabulary, re-exported so engine callers
 // can advise/apply without naming cm-advisor directly.
 pub use cm_advisor::{
-    DesignSet, Structure, WorkloadAdvisorConfig, WorkloadProfile, WorkloadRecommendation,
+    ColumnDesign, DesignSet, Structure, WorkloadAdvisorConfig, WorkloadProfile,
+    WorkloadRecommendation,
 };
 
 /// Crate-wide result alias.

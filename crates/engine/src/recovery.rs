@@ -43,7 +43,7 @@ use cm_core::CmSpec;
 use cm_query::Table;
 use cm_storage::{
     decode_stream, LogPayload, Lsn, PageAccessor, Rid, Row, Schema, Value, AUTOCOMMIT_TXN,
-    FRAME_HEADER_BYTES, PAYLOAD_HEADER_BYTES,
+    FRAME_HEADER_BYTES, LIVE_TS, PAYLOAD_HEADER_BYTES,
 };
 use parking_lot::RwLock;
 use std::collections::HashSet;
@@ -239,7 +239,26 @@ impl Engine {
             let mut shards = Vec::with_capacity(lt.parts.len());
             for (i, part) in lt.parts.iter().enumerate() {
                 let t = part.read();
-                let rows: Vec<Row> = t.heap().iter().map(|(_, r)| r.clone()).collect();
+                // Under MVCC, end-stamped versions image as all-NULL
+                // tombstones: a *committed* delete whose record precedes
+                // `redo_lsn` is never replayed, so the image must not
+                // carry the dead bytes — while an *uncommitted* delete is
+                // reinstated by undo from its record's before-image
+                // either way. Pending-begin rows (uncommitted inserts)
+                // keep their bytes; undo tombstones them if the
+                // transaction never commits.
+                let mvcc = self.mvcc.is_some();
+                let rows: Vec<Row> = t
+                    .heap()
+                    .iter()
+                    .map(|(rid, r)| {
+                        if mvcc && t.stamp_of(rid).1 != LIVE_TS {
+                            vec![Value::Null; r.len()]
+                        } else {
+                            r.clone()
+                        }
+                    })
+                    .collect();
                 shards.push(ShardImage { rows, base_len: lt.base_lens[i] });
             }
             let t0 = lt.parts[0].read();
@@ -389,13 +408,15 @@ impl Engine {
         committed.insert(AUTOCOMMIT_TXN);
         let mut seen_txns: HashSet<u64> = HashSet::new();
         let mut max_txn = AUTOCOMMIT_TXN;
+        let mut max_commit_ts = 0u64;
         for rec in &decoded.records {
             max_txn = max_txn.max(rec.txn);
             if rec.txn != AUTOCOMMIT_TXN {
                 seen_txns.insert(rec.txn);
             }
-            if matches!(rec.payload, LogPayload::Commit) {
+            if let LogPayload::Commit { ts } = rec.payload {
                 committed.insert(rec.txn);
+                max_commit_ts = max_commit_ts.max(ts);
             }
         }
 
@@ -427,7 +448,7 @@ impl Engine {
                     redone += 1;
                 }
                 LogPayload::Maintenance { .. }
-                | LogPayload::Commit
+                | LogPayload::Commit { .. }
                 | LogPayload::CheckpointBegin
                 | LogPayload::CheckpointEnd { .. } => {}
             }
@@ -462,6 +483,12 @@ impl Engine {
 
         // Sessions on the recovered engine must not reuse a logged txn id.
         engine.next_txn.store(max_txn + 1, Ordering::Relaxed);
+        // The restart rebuilt a single-version heap (every surviving row
+        // stamped live-at-1): restart the commit clock past the largest
+        // logged commit timestamp so new commits never reuse one.
+        if let Some(mv) = &engine.mvcc {
+            mv.reset_clock(max_commit_ts.max(1));
+        }
         // The recovered state is the new baseline: its log restarts at
         // offset 0, so install the post-recovery image there.
         engine.install_base_image();

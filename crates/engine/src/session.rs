@@ -126,12 +126,15 @@ impl Session {
         r
     }
 
-    /// INSERT a batch, committing the WAL once at the end (group commit).
+    /// INSERT a batch, committing the WAL once at the end (group
+    /// commit). The rows go through [`Engine::insert_many_txn`], which
+    /// holds each touched shard's write lock once for its whole group
+    /// instead of once per row — concurrent readers see one short
+    /// exclusive hold per shard, not a stream of them.
     pub fn insert_many(&self, table: &str, rows: Vec<Row>) -> Result<Vec<Rid>> {
-        let mut rids = Vec::with_capacity(rows.len());
-        for row in rows {
-            rids.push(self.insert(table, row)?);
-        }
+        let n = rows.len() as u64;
+        let rids = self.engine.insert_many_txn(table, rows, self.write_txn())?;
+        self.inserts.fetch_add(n, Ordering::Relaxed);
         self.commit();
         Ok(rids)
     }
@@ -172,11 +175,15 @@ impl Session {
     /// Commit this session's open transaction: append its commit record
     /// (making its writes survive recovery) and force the engine WAL.
     /// The next write opens a fresh transaction.
+    ///
+    /// With no buffered writes there is nothing to make durable, so the
+    /// call is a true no-op: no commit record, no WAL flush, no I/O.
     pub fn commit(&self) -> IoStats {
         let t = self.txn.swap(0, Ordering::Relaxed);
-        if t != 0 {
-            self.engine.log_commit(t);
+        if t == 0 {
+            return IoStats::default();
         }
+        self.engine.log_commit(t);
         self.engine.commit()
     }
 
@@ -290,6 +297,32 @@ mod tests {
         session.insert_many("t", rows).unwrap();
         assert!(engine.stats().wal_durable_bytes > before, "WAL flushed");
         assert_eq!(session.stats().inserts, 100);
+    }
+
+    #[test]
+    fn empty_commit_is_a_true_noop() {
+        let engine = engine_with_table();
+        let session = engine.session();
+        // Reads never open a transaction.
+        session.execute("t", &Query::single(Pred::eq(0, 1i64))).unwrap();
+        let records = engine.stats().wal_records;
+        let durable = engine.stats().wal_durable_bytes;
+        let flushes = engine.wal_stats().flushes;
+        let io = session.commit();
+        assert_eq!(io, IoStats::default(), "no write buffered: no I/O charged");
+        let s = engine.stats();
+        assert_eq!(s.wal_records, records, "no commit record appended");
+        assert_eq!(s.wal_durable_bytes, durable, "nothing flushed");
+        assert_eq!(engine.wal_stats().flushes, flushes, "no group-commit round");
+        // A session that wrote still commits normally afterwards.
+        session.insert("t", vec![Value::Int(1), Value::Int(77_000)]).unwrap();
+        session.commit();
+        assert!(engine.stats().wal_records > records);
+        // And its next commit, with the transaction closed, is a no-op
+        // again.
+        let durable = engine.stats().wal_durable_bytes;
+        assert_eq!(session.commit(), IoStats::default());
+        assert_eq!(engine.stats().wal_durable_bytes, durable);
     }
 
     #[test]

@@ -139,6 +139,11 @@ pub struct WorkloadReport {
     /// on a 1-worker engine that is the serial per-shard sum, with
     /// workers it is the legs list-scheduled over the pool.
     pub read_latency: LatencyStats,
+    /// Per-write wall-clock latency percentiles: each sample times one
+    /// `insert` call (lock wait included — the number that exposes
+    /// writer stalls behind long scans), plus its share of the periodic
+    /// group commit when this op triggered one.
+    pub write_latency: LatencyStats,
     /// Wall-clock milliseconds the driver ran for.
     pub wall_ms: f64,
     /// Operations per wall-clock second.
@@ -180,6 +185,7 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
     let ops_done = AtomicU64::new(0);
     let latencies: parking_lot::Mutex<Vec<f64>> =
         parking_lot::Mutex::new(Vec::with_capacity(cfg.ops));
+    let write_latencies: parking_lot::Mutex<Vec<f64>> = parking_lot::Mutex::new(Vec::new());
     let first_err: parking_lot::Mutex<Option<crate::EngineError>> =
         parking_lot::Mutex::new(None);
     let advice: parking_lot::Mutex<Option<AdviceOutcome>> = parking_lot::Mutex::new(None);
@@ -195,12 +201,14 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
             let matched = &matched;
             let ops_done = &ops_done;
             let latencies = &latencies;
+            let write_latencies = &write_latencies;
             let first_err = &first_err;
             let advice = &advice;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9E37));
                 let mut since_commit = 0usize;
                 let mut local_lat: Vec<f64> = Vec::new();
+                let mut local_wlat: Vec<f64> = Vec::new();
                 for _ in 0..ops {
                     let is_read = rng.gen_bool(cfg.read_fraction);
                     let claimed = if is_read {
@@ -212,11 +220,13 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
                     let result = match claimed {
                         Some(row) => {
                             since_commit += 1;
+                            let begun = Instant::now();
                             let r = session.insert(&cfg.table, row).map(|_| ());
                             if since_commit >= cfg.commit_every.max(1) {
                                 session.commit();
                                 since_commit = 0;
                             }
+                            local_wlat.push(begun.elapsed().as_secs_f64() * 1000.0);
                             writes_done.fetch_add(1, Ordering::Relaxed);
                             r
                         }
@@ -232,6 +242,7 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
                     };
                     if let Err(e) = result {
                         latencies.lock().append(&mut local_lat);
+                        write_latencies.lock().append(&mut local_wlat);
                         first_err.lock().get_or_insert(e);
                         return;
                     }
@@ -258,6 +269,7 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
                             Ok(outcome) => *advice.lock() = Some(outcome),
                             Err(e) => {
                                 latencies.lock().append(&mut local_lat);
+                                write_latencies.lock().append(&mut local_wlat);
                                 first_err.lock().get_or_insert(e);
                                 return;
                             }
@@ -268,6 +280,7 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
                     session.commit();
                 }
                 latencies.lock().append(&mut local_lat);
+                write_latencies.lock().append(&mut local_wlat);
             });
         }
     });
@@ -292,6 +305,7 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
     let writes = writes_done.load(Ordering::Relaxed);
     let ops = reads + writes;
     let read_latency = LatencyStats::from_samples(latencies.into_inner());
+    let write_latency = LatencyStats::from_samples(write_latencies.into_inner());
     Ok(WorkloadReport {
         ops,
         reads,
@@ -305,6 +319,7 @@ pub fn run_mixed(engine: &Arc<Engine>, cfg: &MixedWorkloadConfig) -> Result<Work
         routes: engine.route_counts().since(&routes_before),
         advice: advice.into_inner(),
         read_latency,
+        write_latency,
         wall_ms,
         ops_per_sec: if wall_ms > 0.0 { ops as f64 / (wall_ms / 1000.0) } else { 0.0 },
         ops_per_sim_sec: if io.elapsed_ms > 0.0 {
@@ -382,6 +397,11 @@ mod tests {
         assert_eq!(report.per_shard_io.len(), 1);
         // Every read contributed a latency sample.
         assert_eq!(report.read_latency.count, report.reads);
+        // ... and every write a wall-clock sample.
+        assert_eq!(report.write_latency.count, report.writes);
+        assert!(report.write_latency.p50_ms <= report.write_latency.p95_ms);
+        assert!(report.write_latency.p95_ms <= report.write_latency.p99_ms);
+        assert!(report.write_latency.max_ms > 0.0);
         assert!(report.read_latency.p50_ms <= report.read_latency.p95_ms);
         assert!(report.read_latency.p95_ms <= report.read_latency.p99_ms);
         assert!(report.read_latency.p99_ms <= report.read_latency.max_ms);

@@ -73,10 +73,17 @@ proptest! {
         cut_frac in 0u64..1001,
         shards in 1u8..3,
         ckpt_every in 0u64..40,
+        mvcc in any::<bool>(),
     ) {
+        // The sweep runs both heap disciplines: classic single-version
+        // (physical deletes) and MVCC (end-stamped versions, commit
+        // timestamps in the log, checkpoint images materializing dead
+        // versions as tombstones). Committed-prefix semantics must hold
+        // identically.
         let config = EngineConfig {
             shards: shards as usize,
             checkpoint_every: ckpt_every,
+            mvcc,
             ..EngineConfig::default()
         };
         let engine = preloaded_engine(config);
@@ -159,7 +166,7 @@ proptest! {
         let mut committed: HashSet<u64> = HashSet::new();
         committed.insert(AUTOCOMMIT_TXN);
         for rec in &decoded.records {
-            if matches!(rec.payload, LogPayload::Commit) {
+            if matches!(rec.payload, LogPayload::Commit { .. }) {
                 committed.insert(rec.txn);
             }
         }

@@ -11,11 +11,12 @@ use crate::predicate::{PredOp, Query};
 use crate::table::Table;
 use cm_core::AttrConstraint;
 use cm_index::IndexKey;
-use cm_storage::{DiskSim, IoStats, PageAccessor, ReadCache, Rid, Value};
+use cm_storage::{DiskSim, IoStats, PageAccessor, ReadCache, Rid, Snapshot, Value};
 use std::collections::HashSet;
 use std::sync::Arc;
 
-/// Where an execution charges I/O and reads its clock.
+/// Where an execution charges I/O, reads its clock, and (under MVCC)
+/// which snapshot decides row visibility.
 pub struct ExecContext<'a> {
     /// The simulated disk (source of truth for elapsed time).
     pub disk: &'a Arc<DiskSim>,
@@ -23,17 +24,40 @@ pub struct ExecContext<'a> {
     /// flushed-cache experiments) or a buffer pool (warm / mixed
     /// workloads).
     pub io: &'a dyn PageAccessor,
+    /// MVCC read snapshot. `None` (the non-MVCC engine mode) reads
+    /// everything the heap holds — the pre-MVCC behaviour, where
+    /// exclusion is the shard lock's job.
+    pub snap: Option<&'a Snapshot>,
 }
 
 impl<'a> ExecContext<'a> {
     /// Charge straight to the disk (cold cache).
     pub fn cold(disk: &'a Arc<DiskSim>) -> Self {
-        ExecContext { disk, io: disk }
+        ExecContext { disk, io: disk, snap: None }
     }
 
     /// Charge through an arbitrary accessor (e.g. a buffer pool).
     pub fn through(disk: &'a Arc<DiskSim>, io: &'a dyn PageAccessor) -> Self {
-        ExecContext { disk, io }
+        ExecContext { disk, io, snap: None }
+    }
+
+    /// Read at an MVCC snapshot: rows whose version is not visible to
+    /// `snap` are filtered at visit time in every access path.
+    pub fn at_snapshot(mut self, snap: &'a Snapshot) -> Self {
+        self.snap = Some(snap);
+        self
+    }
+
+    /// Is the version in `table`'s slot `rid` visible to this context?
+    #[inline]
+    pub fn visible(&self, table: &Table, rid: Rid) -> bool {
+        match self.snap {
+            None => true,
+            Some(s) => {
+                let (begin, end) = table.stamp_of(rid);
+                s.sees(begin, end)
+            }
+        }
     }
 }
 
@@ -75,11 +99,13 @@ impl Table {
         if pages > 0 {
             // The whole heap is one vectored run: a single seek plus
             // sequential pages, atomic against concurrent sessions.
+            let tups = self.heap().tups_per_page() as u64;
             self.heap()
-                .read_run_visit(ctx.io, 0, pages - 1, |_, rows| {
-                    for row in rows {
+                .read_run_visit(ctx.io, 0, pages - 1, |page, rows| {
+                    let base = page * tups;
+                    for (i, row) in rows.iter().enumerate() {
                         examined += 1;
-                        if q.matches(row) {
+                        if ctx.visible(self, Rid(base + i as u64)) && q.matches(row) {
                             matched += 1;
                             on_match(row);
                         }
@@ -177,7 +203,7 @@ impl Table {
         for rid in rids {
             let row = self.heap().fetch(ctx.io, rid).expect("index rid valid");
             examined += 1;
-            if q.matches(row) {
+            if ctx.visible(self, rid) && q.matches(row) {
                 matched += 1;
                 on_match(row);
             }
@@ -218,12 +244,14 @@ impl Table {
         // Coalesce the sorted page list into maximal contiguous runs and
         // sweep each as one vectored read — co-located results price one
         // seek per run even under concurrent sessions.
+        let tups = self.heap().tups_per_page() as u64;
         cm_storage::for_each_page_run(&pages, |lo, hi| {
             self.heap()
-                .read_run_visit(ctx.io, lo, hi, |_, rows| {
-                    for row in rows {
+                .read_run_visit(ctx.io, lo, hi, |page, rows| {
+                    let base = page * tups;
+                    for (i, row) in rows.iter().enumerate() {
                         examined += 1;
-                        if q.matches(row) {
+                        if ctx.visible(self, Rid(base + i as u64)) && q.matches(row) {
                             matched += 1;
                             on_match(row);
                         }
@@ -291,12 +319,14 @@ impl Table {
         // sweep it with one vectored read, so the CM's central promise —
         // a few sequential clustered ranges — holds its sequential
         // pricing even when concurrent sessions share the shard disk.
+        let tups = self.heap().tups_per_page() as u64;
         for (lo, hi) in merged {
             self.heap()
-                .read_run_visit(ctx.io, lo, hi, |_, rows| {
-                    for row in rows {
+                .read_run_visit(ctx.io, lo, hi, |page, rows| {
+                    let base = page * tups;
+                    for (i, row) in rows.iter().enumerate() {
                         examined += 1;
-                        if q.matches(row) {
+                        if ctx.visible(self, Rid(base + i as u64)) && q.matches(row) {
                             matched += 1;
                             on_match(row);
                         }
@@ -553,6 +583,56 @@ mod tests {
             heap_pages
         );
         assert_eq!(r.matched, count_by_scan(&t, &disk, &q));
+    }
+
+    #[test]
+    fn snapshot_filters_versions_in_every_path() {
+        use cm_storage::{pending_stamp, MvccState};
+        let disk = DiskSim::with_defaults();
+        let mut t = demo(&disk);
+        let sec = t.add_secondary(&disk, "price", vec![1]);
+        let cm = t.add_cm("price_cm", CmSpec::new(vec![CmAttr::pow2(1, 5)]));
+        let q = Query::single(Pred::between(1, 4200i64, 4300i64));
+        let truth = t.exec_full_scan(&ExecContext::cold(&disk), &q).matched;
+        assert!(truth > 0);
+        let victim = t
+            .heap()
+            .iter()
+            .find(|(_, r)| q.matches(r))
+            .map(|(rid, _)| rid)
+            .unwrap();
+
+        let mv = std::sync::Arc::new(MvccState::new());
+        let old_snap = mv.begin();
+        // Delete one matching row at ts 2 and add a matching row that a
+        // still-pending transaction wrote.
+        let ts = mv.next_ts();
+        t.end_version(disk.as_ref(), victim, ts).unwrap();
+        let pending = t
+            .insert_row(disk.as_ref(), None, vec![Value::Int(42), Value::Int(4250), Value::Int(0)])
+            .unwrap();
+        t.set_begin_stamp(pending, pending_stamp(9));
+        let new_snap = mv.begin();
+
+        let counts = |snap: &cm_storage::Snapshot| {
+            let ctx = ExecContext::cold(&disk).at_snapshot(snap);
+            [
+                t.exec_full_scan(&ctx, &q).matched,
+                t.exec_secondary_sorted(&ctx, sec, &q).unwrap().matched,
+                t.exec_secondary_pipelined(&ctx, sec, &q).unwrap().matched,
+                t.exec_cm_scan(&ctx, cm, &q).matched,
+            ]
+        };
+        assert_eq!(counts(&old_snap), [truth; 4], "old snapshot: delete + pending invisible");
+        assert_eq!(counts(&new_snap), [truth - 1; 4], "new snapshot: delete visible");
+        mv.commit_txn(9);
+        let after_commit = mv.begin();
+        assert_eq!(counts(&after_commit), [truth; 4], "commit publishes the pending row");
+        assert_eq!(counts(&old_snap), [truth; 4], "old snapshot unchanged by the commit");
+        // No snapshot: the pre-MVCC reader sees every heap row, pending
+        // or ended (lock-based engines rely on exclusion instead).
+        let ctx = ExecContext::cold(&disk);
+        assert_eq!(t.exec_full_scan(&ctx, &q).matched, truth + 1);
     }
 
     #[test]

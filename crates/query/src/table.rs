@@ -12,7 +12,8 @@ use cm_core::{BucketDirectory, CmSpec, CorrelationMap};
 use cm_index::{ClusteredIndex, SecondaryIndex};
 use cm_stats::{correlation_stats, CorrelationStats};
 use cm_storage::{
-    DiskSim, HeapFile, LogWrite, PageAccessor, Rid, Row, Schema, StorageError, Value,
+    is_pending, DiskSim, HeapFile, LogWrite, PageAccessor, Rid, Row, Schema, StorageError, Value,
+    LIVE_TS,
 };
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -33,6 +34,15 @@ pub struct ColumnStats {
 }
 
 /// A clustered table with its access structures.
+///
+/// Every heap slot carries an MVCC **stamp pair** (`begin`, `end`) in a
+/// parallel vector (see [`cm_storage::mvcc`] for the encoding): bulk-
+/// loaded rows are stamped `(1, LIVE_TS)`, physically deleted slots
+/// `(0, 0)` (invisible to every snapshot, matching their all-NULL
+/// tombstone), and MVCC mutations stamp versions without touching the
+/// row bytes. Engines that run without MVCC simply never pass a
+/// snapshot to the executors, so the stamps cost one uncharged memory
+/// write per mutation and nothing else.
 pub struct Table {
     heap: HeapFile,
     clustered_col: usize,
@@ -41,6 +51,8 @@ pub struct Table {
     secondaries: Vec<SecondaryIndex>,
     cms: Vec<CorrelationMap>,
     stats: Vec<Option<ColumnStats>>,
+    stamps: Vec<(u64, u64)>,
+    design_epoch: u64,
 }
 
 /// Default B+Tree fanout for the indexes built on tables.
@@ -63,6 +75,7 @@ impl Table {
         let clustered =
             ClusteredIndex::build(&heap, clustered_col, disk.alloc_file(), DEFAULT_TREE_ORDER);
         let dir = BucketDirectory::build(&heap, clustered_col, bucket_target);
+        let stamps = vec![(1, LIVE_TS); heap.len() as usize];
         Ok(Table {
             heap,
             clustered_col,
@@ -71,6 +84,8 @@ impl Table {
             secondaries: Vec::new(),
             cms: Vec::new(),
             stats: vec![None; arity],
+            stamps,
+            design_epoch: 0,
         })
     }
 
@@ -100,6 +115,18 @@ impl Table {
             DEFAULT_TREE_ORDER,
         );
         let dir = BucketDirectory::restore(&heap, clustered_col, bucket_target, sorted_len);
+        // Recovery collapses version chains: live rows restart at the
+        // epoch stamp, tombstoned slots are invisible to every snapshot.
+        let stamps = heap
+            .iter()
+            .map(|(_, row)| {
+                if row.iter().all(|v| v.is_null()) {
+                    (0, 0)
+                } else {
+                    (1, LIVE_TS)
+                }
+            })
+            .collect();
         Ok(Table {
             heap,
             clustered_col,
@@ -108,6 +135,8 @@ impl Table {
             secondaries: Vec::new(),
             cms: Vec::new(),
             stats: vec![None; arity],
+            stamps,
+            design_epoch: 0,
         })
     }
 
@@ -147,6 +176,7 @@ impl Table {
             self.heap.iter().map(|(rid, row)| (rid, row.as_slice())),
         );
         self.secondaries.push(idx);
+        self.design_epoch += 1;
         self.secondaries.len() - 1
     }
 
@@ -154,7 +184,34 @@ impl Table {
     pub fn add_cm(&mut self, name: impl Into<String>, spec: CmSpec) -> usize {
         let cm = CorrelationMap::build(name, spec, &self.heap, &self.dir);
         self.cms.push(cm);
+        self.design_epoch += 1;
         self.cms.len() - 1
+    }
+
+    /// Build (but do not install) a dense secondary B+Tree on `cols`
+    /// from the current heap — the snapshot-build phase of an online
+    /// design swap, callable under a shard *read* lock. Pair with
+    /// [`Table::install_access_structures`] for the brief write-locked
+    /// flip.
+    pub fn build_secondary(
+        &self,
+        disk: &DiskSim,
+        name: impl Into<String>,
+        cols: Vec<usize>,
+    ) -> SecondaryIndex {
+        SecondaryIndex::build(
+            name,
+            cols,
+            disk.alloc_file(),
+            DEFAULT_TREE_ORDER,
+            self.heap.iter().map(|(rid, row)| (rid, row.as_slice())),
+        )
+    }
+
+    /// Build (but do not install) a Correlation Map — see
+    /// [`Table::build_secondary`].
+    pub fn build_cm(&self, name: impl Into<String>, spec: CmSpec) -> CorrelationMap {
+        CorrelationMap::build(name, spec, &self.heap, &self.dir)
     }
 
     /// The secondary indexes.
@@ -182,6 +239,30 @@ impl Table {
     pub fn clear_access_structures(&mut self) {
         self.secondaries.clear();
         self.cms.clear();
+        self.design_epoch += 1;
+    }
+
+    /// Monotone counter bumped whenever the access-structure set changes
+    /// (secondary/CM added or cleared). A planner records the epoch it
+    /// planned against; an executor leg that finds a different epoch at
+    /// run time knows its structure ids may be stale and must re-plan —
+    /// the guard that makes online design swaps safe under concurrency.
+    pub fn design_epoch(&self) -> u64 {
+        self.design_epoch
+    }
+
+    /// Install a pre-built structure set (secondaries + CMs), replacing
+    /// the current one in a single call — the brief exclusive phase of
+    /// an online design swap where structures were built off a snapshot
+    /// under a read lock.
+    pub fn install_access_structures(
+        &mut self,
+        secondaries: Vec<SecondaryIndex>,
+        cms: Vec<CorrelationMap>,
+    ) {
+        self.secondaries = secondaries;
+        self.cms = cms;
+        self.design_epoch += 1;
     }
 
     /// Compute (or refresh) per-column statistics vs. the clustered
@@ -247,6 +328,7 @@ impl Table {
         row: Row,
     ) -> Result<Rid, StorageError> {
         let rid = self.heap.append(io, row)?;
+        self.stamps.push((1, LIVE_TS));
         let row = self.heap.peek(rid)?.clone();
         self.dir.note_append(rid);
         self.clustered.note_append(&row[self.clustered_col], rid);
@@ -277,6 +359,7 @@ impl Table {
         rid: Rid,
     ) -> Result<Row, StorageError> {
         let row = self.heap.delete(io, rid)?;
+        self.stamps[rid.0 as usize] = (0, 0);
         for sec in &mut self.secondaries {
             sec.remove(io, &row, rid);
             if let Some(w) = wal.as_deref_mut() {
@@ -303,6 +386,7 @@ impl Table {
         row: Row,
     ) -> Result<(), StorageError> {
         self.heap.restore_row(io, rid, row.clone())?;
+        self.stamps[rid.0 as usize] = (1, LIVE_TS);
         self.clustered.note_append(&row[self.clustered_col], rid);
         for sec in &mut self.secondaries {
             sec.insert(io, &row, rid);
@@ -320,6 +404,7 @@ impl Table {
     /// written (and priced) before the crash.
     pub fn append_placeholder(&mut self) -> Rid {
         let rid = self.heap.append_tombstone();
+        self.stamps.push((0, 0));
         self.dir.note_append(rid);
         self.clustered.note_append(&Value::Null, rid);
         rid
@@ -328,6 +413,125 @@ impl Table {
     /// Whether a slot holds a delete tombstone (all-NULL row).
     pub fn is_tombstone(&self, rid: Rid) -> Result<bool, StorageError> {
         Ok(self.heap.peek(rid)?.iter().all(|v| v.is_null()))
+    }
+
+    /// Feed heap slots `from..len` (tombstones skipped) into a
+    /// not-yet-installed structure set — the catch-up step of an online
+    /// design swap: structures were built from a snapshot under a read
+    /// lock, and the brief write-locked phase replays the rows appended
+    /// meanwhile before [`Table::install_access_structures`].
+    pub fn catch_up_structures(
+        &self,
+        io: &dyn PageAccessor,
+        from: u64,
+        secondaries: &mut [SecondaryIndex],
+        cms: &mut [CorrelationMap],
+    ) -> Result<(), StorageError> {
+        for raw in from..self.heap.len() {
+            let rid = Rid(raw);
+            let row = self.heap.peek(rid)?;
+            if row.iter().all(|v| v.is_null()) {
+                continue;
+            }
+            let row = row.clone();
+            for sec in secondaries.iter_mut() {
+                sec.insert(io, &row, rid);
+            }
+            for cm in cms.iter_mut() {
+                cm.insert(&row, rid, &self.dir);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- MVCC
+
+    /// The `(begin, end)` stamp pair of a slot.
+    pub fn stamp_of(&self, rid: Rid) -> (u64, u64) {
+        self.stamps[rid.0 as usize]
+    }
+
+    /// Overwrite a slot's begin stamp (MVCC insert: the engine stamps
+    /// the freshly appended row with its transaction marker or commit
+    /// timestamp).
+    pub fn set_begin_stamp(&mut self, rid: Rid, begin: u64) {
+        self.stamps[rid.0 as usize].0 = begin;
+    }
+
+    /// MVCC delete: end the slot's current version by stamping `end`,
+    /// charging one write of the row's page (the tuple-header update a
+    /// real MVCC heap pays). The row bytes and every access-structure
+    /// entry stay in place — older snapshots still need them — until a
+    /// vacuum pass reclaims the version. Returns the (still live) row
+    /// for the WAL before-image.
+    pub fn end_version(
+        &mut self,
+        io: &dyn PageAccessor,
+        rid: Rid,
+        end: u64,
+    ) -> Result<Row, StorageError> {
+        let row = self.heap.peek(rid)?.clone();
+        self.stamps[rid.0 as usize].1 = end;
+        io.write(self.heap.file_id(), self.heap.page_of(rid));
+        Ok(row)
+    }
+
+    /// Undo an MVCC delete that never committed: restore the end stamp
+    /// to "live". (Only used by tests / abort paths; crash recovery
+    /// rebuilds a single-version heap instead.)
+    pub fn clear_end_stamp(&mut self, rid: Rid) {
+        self.stamps[rid.0 as usize].1 = LIVE_TS;
+    }
+
+    /// Rewrite every resolvable pending stamp to its plain commit
+    /// timestamp (vacuum's first pass; `resolve` is the commit table).
+    /// Returns how many stamps were rewritten. Must run under the
+    /// shard's write lock so no reader observes a half-rewritten pair.
+    pub fn resolve_stamps(&mut self, resolve: impl Fn(u64) -> Option<u64>) -> u64 {
+        let mut rewritten = 0;
+        for stamp in self.stamps.iter_mut() {
+            if is_pending(stamp.0) {
+                if let Some(ts) = resolve(stamp.0) {
+                    stamp.0 = ts;
+                    rewritten += 1;
+                }
+            }
+            if is_pending(stamp.1) {
+                if let Some(ts) = resolve(stamp.1) {
+                    stamp.1 = ts;
+                    rewritten += 1;
+                }
+            }
+        }
+        rewritten
+    }
+
+    /// Slots whose version ended at or before `oldest_live` (plain
+    /// stamps only — pending ends are unresolved and must survive) and
+    /// that still hold row bytes: the versions vacuum may physically
+    /// reclaim via [`Table::delete_row`].
+    pub fn reclaimable(&self, oldest_live: u64) -> Vec<Rid> {
+        self.stamps
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, end))| !is_pending(*end) && *end != LIVE_TS && *end <= oldest_live)
+            .map(|(i, _)| Rid(i as u64))
+            .filter(|&rid| !self.is_tombstone(rid).unwrap_or(true))
+            .collect()
+    }
+
+    /// Count of versions that have ended but not yet been reclaimed —
+    /// the "dead tail" a vacuum pass would inspect (chain-length signal
+    /// for the GC counters).
+    pub fn dead_versions(&self) -> u64 {
+        self.stamps
+            .iter()
+            .enumerate()
+            .filter(|(i, (_, end))| {
+                *end != LIVE_TS
+                    && !self.is_tombstone(Rid(*i as u64)).unwrap_or(true)
+            })
+            .count() as u64
     }
 }
 

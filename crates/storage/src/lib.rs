@@ -34,6 +34,10 @@
 //!   simulated head.
 //! * [`GroupCommitWal`] — leader-elected batched commits over a [`Wal`]:
 //!   concurrent committers share one tail flush.
+//! * [`MvccState`] / [`Snapshot`] — the multi-version commit clock,
+//!   commit table, and registered read snapshots that let the engine
+//!   serve readers under shard *read* locks while writers stamp new
+//!   versions (see the [`mvcc`] module docs for the protocol).
 //!
 //! All higher layers (`cm-index`, `cm-core`, `cm-query`, …) charge their
 //! I/O through the [`PageAccessor`] trait so that an experiment can route
@@ -47,6 +51,7 @@ pub mod error;
 pub mod group_commit;
 pub mod heap;
 pub mod logrec;
+pub mod mvcc;
 pub mod rid;
 pub mod schema;
 pub mod shard;
@@ -62,6 +67,9 @@ pub use heap::HeapFile;
 pub use logrec::{
     crc32, decode_stream, encode_frame, DecodedLog, LogPayload, LogRecord, Lsn, AUTOCOMMIT_TXN,
     FRAME_HEADER_BYTES, PAYLOAD_HEADER_BYTES,
+};
+pub use mvcc::{
+    is_pending, pending_stamp, pending_txn, MvccState, MvccStats, Snapshot, LIVE_TS, TXN_STAMP_BIT,
 };
 pub use rid::Rid;
 pub use schema::{Column, Row, Schema, ValueType};

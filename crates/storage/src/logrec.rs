@@ -97,8 +97,15 @@ pub enum LogPayload {
         /// `(local rid, before-image)` per deleted row.
         victims: Vec<(u64, Row)>,
     },
-    /// Transaction commit marker.
-    Commit,
+    /// Transaction commit marker carrying the commit timestamp the MVCC
+    /// clock handed out, so recovery can rebuild the snapshot clock
+    /// (`max ts + 1`) as well as the committed-txn set. Non-MVCC engines
+    /// log `ts = 0`.
+    Commit {
+        /// Commit timestamp assigned by the engine's global clock
+        /// (0 when the engine runs without MVCC).
+        ts: u64,
+    },
     /// Fuzzy checkpoint start. Its own LSN becomes the `redo_lsn`
     /// recorded by the matching [`LogPayload::CheckpointEnd`].
     CheckpointBegin,
@@ -233,7 +240,10 @@ pub fn encode_frame(txn: u64, payload: &LogPayload) -> Vec<u8> {
                 put_row(&mut body, row);
             }
         }
-        LogPayload::Commit | LogPayload::CheckpointBegin => {}
+        LogPayload::Commit { ts } => {
+            body.extend_from_slice(&ts.to_le_bytes());
+        }
+        LogPayload::CheckpointBegin => {}
         LogPayload::CheckpointEnd { redo_lsn } => {
             body.extend_from_slice(&redo_lsn.to_le_bytes());
         }
@@ -256,7 +266,7 @@ fn kind_of(p: &LogPayload) -> u8 {
         LogPayload::Insert { .. } => KIND_INSERT,
         LogPayload::Delete { .. } => KIND_DELETE,
         LogPayload::DeleteSet { .. } => KIND_DELETE_SET,
-        LogPayload::Commit => KIND_COMMIT,
+        LogPayload::Commit { .. } => KIND_COMMIT,
         LogPayload::CheckpointBegin => KIND_CKPT_BEGIN,
         LogPayload::CheckpointEnd { .. } => KIND_CKPT_END,
         LogPayload::DesignChange { .. } => KIND_DESIGN_CHANGE,
@@ -358,7 +368,7 @@ fn decode_payload(body: &[u8]) -> Option<(u64, LogPayload)> {
             }
             LogPayload::DeleteSet { table, shard, victims }
         }
-        KIND_COMMIT => LogPayload::Commit,
+        KIND_COMMIT => LogPayload::Commit { ts: c.u64()? },
         KIND_CKPT_BEGIN => LogPayload::CheckpointBegin,
         KIND_CKPT_END => LogPayload::CheckpointEnd { redo_lsn: c.u64()? },
         KIND_DESIGN_CHANGE => {
@@ -431,7 +441,7 @@ mod tests {
                     victims: vec![(1, row()), (17, row())],
                 },
             ),
-            (3, LogPayload::Commit),
+            (3, LogPayload::Commit { ts: 41 }),
             (AUTOCOMMIT_TXN, LogPayload::CheckpointBegin),
             (AUTOCOMMIT_TXN, LogPayload::CheckpointEnd { redo_lsn: 123 }),
             (AUTOCOMMIT_TXN, LogPayload::DesignChange { table: "t".into(), design: vec![9, 8, 7] }),
@@ -473,7 +483,7 @@ mod tests {
 
     #[test]
     fn torn_tail_is_truncated_not_fatal() {
-        let a = encode_frame(1, &LogPayload::Commit);
+        let a = encode_frame(1, &LogPayload::Commit { ts: 1 });
         let b = encode_frame(2, &LogPayload::Insert {
             table: "t".into(),
             shard: 0,
@@ -504,7 +514,7 @@ mod tests {
 
     #[test]
     fn corrupt_bytes_fail_the_checksum() {
-        let mut stream = encode_frame(1, &LogPayload::Commit);
+        let mut stream = encode_frame(1, &LogPayload::Commit { ts: 1 });
         let last = stream.len() - 1;
         stream[last] ^= 0x40;
         let d = decode_stream(&stream);
@@ -515,7 +525,7 @@ mod tests {
 
     #[test]
     fn garbage_length_is_torn_not_panic() {
-        let mut stream = encode_frame(1, &LogPayload::Commit);
+        let mut stream = encode_frame(1, &LogPayload::Commit { ts: 1 });
         stream[0] = 0xFF;
         stream[1] = 0xFF;
         stream[2] = 0xFF;

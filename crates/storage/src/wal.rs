@@ -269,9 +269,9 @@ mod tests {
     fn small_commits_rewrite_tail_page() {
         let disk = DiskSim::with_defaults();
         let mut wal = Wal::new(disk);
-        wal.log(1, &LogPayload::Commit);
+        wal.log(1, &LogPayload::Commit { ts: 0 });
         let io1 = wal.commit();
-        wal.log(2, &LogPayload::Commit);
+        wal.log(2, &LogPayload::Commit { ts: 0 });
         let io2 = wal.commit();
         assert_eq!(io1.page_writes, 1);
         assert_eq!(io2.page_writes, 1);
@@ -323,7 +323,7 @@ mod tests {
     fn log_returns_stream_offset_lsns_and_history_decodes() {
         let disk = DiskSim::with_defaults();
         let mut wal = Wal::new(disk);
-        let l0 = wal.log(7, &LogPayload::Commit);
+        let l0 = wal.log(7, &LogPayload::Commit { ts: 0 });
         let l1 = wal.log(0, &LogPayload::CheckpointBegin);
         let l2 = wal.log(0, &LogPayload::CheckpointEnd { redo_lsn: l1 });
         assert_eq!(l0, 0);
@@ -341,9 +341,9 @@ mod tests {
     fn durable_log_excludes_the_uncommitted_tail() {
         let disk = DiskSim::with_defaults();
         let mut wal = Wal::new(disk);
-        wal.log(1, &LogPayload::Commit);
+        wal.log(1, &LogPayload::Commit { ts: 0 });
         wal.commit();
-        wal.log(2, &LogPayload::Commit);
+        wal.log(2, &LogPayload::Commit { ts: 0 });
         let durable = decode_stream(&wal.durable_log());
         assert_eq!(durable.records.len(), 1, "tail record not yet durable");
         let all = decode_stream(&wal.appended_log());

@@ -117,7 +117,12 @@ fn engine_mixed_smoke() {
     assert_eq!(r.rows.len(), 4, "B+Tree and CM configurations at two mixes");
     // Reads were cost-routed: the routing cell accounts for every read.
     for row in &r.rows {
-        assert!(row.cells[6].starts_with("cm:"), "routing cell: {}", row.cells[6]);
+        assert!(row.cells[7].starts_with("cm:"), "routing cell: {}", row.cells[7]);
+        // The write-latency cell renders ordered wall-clock percentiles.
+        let wl: Vec<f64> =
+            row.cells[6].split('/').map(|v| v.parse().expect("write pct")).collect();
+        assert_eq!(wl.len(), 3, "write p50/p95/p99: {}", row.cells[6]);
+        assert!(wl[0] <= wl[1] && wl[1] <= wl[2], "ordered: {}", row.cells[6]);
     }
     assert!(r.latency.is_some(), "mixed workload reports read latency");
     // JSON emission is well-formed enough to embed.
@@ -288,5 +293,31 @@ fn fanout_latency_smoke() {
         four < 0.7 * one,
         "4 workers improve 4-shard p99 ({four} ms) well below 1 worker ({one} ms)"
     );
+    check(r, true);
+}
+
+#[test]
+fn mvcc_reads_smoke() {
+    // run() itself asserts the tentpole gate: >= 2x lower contended read
+    // p99 under MVCC than under single-version locking.
+    let r = experiments::mvcc_reads::run(BenchScale::Smoke);
+    assert_eq!(
+        r.rows.len(),
+        14,
+        "two modes x two shard counts x three write pressures + two redesign rows"
+    );
+    assert!(r.latency.is_some(), "headline percentiles at the contended MVCC point");
+    assert!(r.commentary.contains("read-only baseline"), "{}", r.commentary);
+    let json = r.to_json();
+    assert!(json.contains("\"id\":\"mvcc_reads\""));
+    // Idle rows see no bursts; contended rows see at least one.
+    for row in &r.rows {
+        let bursts: u64 = row.cells[1].parse().expect("burst cell");
+        if row.label.contains("0 writers") {
+            assert_eq!(bursts, 0, "{}", row.label);
+        } else {
+            assert!(bursts > 0, "{}: writers made no progress", row.label);
+        }
+    }
     check(r, true);
 }
