@@ -1,0 +1,31 @@
+//! Regenerates the real-file I/O benchmark (see
+//! `cm_bench::experiments::file_io`): the run_io sweep on an actual
+//! device, sim-ms and wall-ms side by side. Prints the table and emits
+//! the result as JSON (machine-readable; `--json-out path` writes it to
+//! a file). Run with `cargo run --release -p cm-bench --bin file_io`;
+//! set `FILE_IO_DIR=/path` to aim the page files at a specific device.
+
+use cm_bench::datasets::BenchScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        BenchScale::Smoke
+    } else {
+        BenchScale::Full
+    };
+    let report = cm_bench::experiments::file_io::run(scale);
+    eprintln!("{}", report.to_text());
+    let json = report.to_json();
+    match args
+        .iter()
+        .position(|a| a == "--json-out")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write JSON report");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -8,6 +8,7 @@ pub mod advisor_mix;
 pub mod engine_mixed;
 pub mod engine_sharded;
 pub mod fanout_latency;
+pub mod file_io;
 pub mod fig10_cost_model;
 pub mod fig1_access_patterns;
 pub mod fig2_sdss_clusterings;
@@ -48,6 +49,7 @@ pub fn run_all(scale: BenchScale) -> Vec<Report> {
         fanout_latency::run(scale),
         mvcc_reads::run(scale),
         run_io::run(scale),
+        file_io::run(scale),
         advisor_mix::run(scale),
         recovery::run(scale),
     ]

@@ -92,7 +92,7 @@ fn run_cell(base_rows: usize, ops: usize, checkpoint_every: u64) -> Cell {
         checkpoint_every,
         ..EngineConfig::default()
     };
-    let engine = build_engine(config, base_rows);
+    let engine = build_engine(config.clone(), base_rows);
     let wl = workload(ops);
     run_mixed(&engine, &wl).expect("workload runs");
     engine.commit();

@@ -30,9 +30,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Access paths swept (all forced, all cold).
-const PATHS: [&str; 3] = ["full scan", "secondary sorted", "cm scan"];
+pub(crate) const PATHS: [&str; 3] = ["full scan", "secondary sorted", "cm scan"];
 /// Concurrent session counts swept.
-const SESSIONS: [usize; 2] = [1, 8];
+pub(crate) const SESSIONS: [usize; 2] = [1, 8];
 
 /// Deterministic round-robin arbiter: every page charge a session issues
 /// waits for that session's turn, executes under the arbiter lock, and
@@ -129,7 +129,7 @@ impl PageAccessor for SessionIo<'_> {
 /// total; each session takes a disjoint slice (concurrent sessions run
 /// *different* queries — identical lockstep streams would artificially
 /// convoy on the same pages and hide the interleaving effect).
-fn read_queries(categories: usize, n: usize) -> Vec<Query> {
+pub(crate) fn read_queries(categories: usize, n: usize) -> Vec<Query> {
     let cats = categories as i64;
     (0..n)
         .map(|s| {
@@ -146,7 +146,7 @@ fn read_queries(categories: usize, n: usize) -> Vec<Query> {
 /// Each session first issues `id` staggered single-page touches, so the
 /// round-robin streams are offset like real arrivals instead of starting
 /// page-aligned (the stagger cost is identical in both modes).
-fn measure(
+pub(crate) fn measure(
     table: &Table,
     disk: &std::sync::Arc<DiskSim>,
     queries: &[Query],

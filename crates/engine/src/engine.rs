@@ -36,10 +36,10 @@ use cm_query::{
 };
 use crate::recovery::ImageInstall;
 use cm_storage::{
-    aggregate_io, aggregate_pool, makespan_ms, pending_stamp, BufferPool, DiskConfig,
-    DiskSim, GroupCommitConfig, GroupCommitStats, GroupCommitWal, IoStats, LogPayload,
-    MvccState, MvccStats, PoolStats, Rid, Row, Schema, Snapshot, StorageShard, Wal,
-    WalBatch, AUTOCOMMIT_TXN, LIVE_TS,
+    aggregate_io, aggregate_pool, makespan_ms, pending_stamp, Backend, BufferPool,
+    DiskConfig, DiskSim, GroupCommitConfig, GroupCommitStats, GroupCommitWal, IoStats,
+    LogPayload, MvccState, MvccStats, PoolStats, Rid, Row, Schema, Snapshot,
+    StorageShard, Wal, WalBatch, AUTOCOMMIT_TXN, LIVE_TS,
 };
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -48,11 +48,18 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Engine construction parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Simulated-disk hardware parameters (paper, Table 1 by default) —
     /// every shard disk and the log disk use the same constants.
     pub disk: DiskConfig,
+    /// Which device the disks run on: [`Backend::Sim`] (pure simulation,
+    /// the deterministic default) or [`Backend::File`] (every shard disk
+    /// *and* the WAL log disk additionally perform real `pread`/`pwrite`
+    /// against files under the given directory — `shard0/`, `shard1/`,
+    /// …, `wal/` — and report wall-clock alongside sim-ms). The sim
+    /// accounting is identical on both, so results stay oracle-equal.
+    pub backend: Backend,
     /// Total buffer-pool capacity in pages, divided evenly across the
     /// shards (so sweeping the shard count compares equal RAM).
     pub pool_pages: usize,
@@ -95,6 +102,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             disk: DiskConfig::default(),
+            backend: Backend::Sim,
             pool_pages: 1024,
             shards: 1,
             workers: 1,
@@ -373,15 +381,22 @@ impl Engine {
         let shards = config.shards.max(1);
         let per_shard_pages = (config.pool_pages / shards).max(1);
         let backends: Vec<StorageShard> = (0..shards)
-            .map(|_| StorageShard::new(config.disk, per_shard_pages))
-            .collect();
+            .map(|i| {
+                StorageShard::with_backend(
+                    config.disk,
+                    per_shard_pages,
+                    &config.backend,
+                    &format!("shard{i}"),
+                )
+            })
+            .collect::<std::result::Result<_, _>>()?;
         // The log gets its own spindle (as a real deployment would), so
         // commits do not drag every shard head to the log tail.
-        let log_disk = DiskSim::new(config.disk);
+        let log_disk = config.backend.make_disk(config.disk, "wal")?;
         let wal = GroupCommitWal::new(Wal::new(log_disk.clone()), config.group_commit);
         let planner = Planner::new(config.disk);
         Ok(Arc::new(Engine {
-            config,
+            config: config.clone(),
             backends,
             log_disk,
             wal,

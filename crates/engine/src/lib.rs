@@ -136,6 +136,10 @@ pub use session::{Session, SessionStats};
 pub use shard::{partition_rows, RangeRouter};
 pub use workload::{run_mixed, AdviceOutcome, LatencyStats, MixedWorkloadConfig, WorkloadReport};
 
+// The backend knob, re-exported so engine callers can pick the device
+// ([`EngineConfig::backend`]) without naming cm-storage directly.
+pub use cm_storage::Backend;
+
 // The workload-aware advisor vocabulary, re-exported so engine callers
 // can advise/apply without naming cm-advisor directly.
 pub use cm_advisor::{

@@ -86,7 +86,7 @@ proptest! {
             mvcc,
             ..EngineConfig::default()
         };
-        let engine = preloaded_engine(config);
+        let engine = preloaded_engine(config.clone());
 
         // Oracle basis: the post-load state, keyed by (shard, rid) —
         // exactly how log records address rows.
@@ -195,7 +195,7 @@ proptest! {
         let mut expect: Vec<Row> = oracle.into_values().collect();
         expect.sort();
 
-        let (recovered, report) = Engine::recover(config, &state).unwrap();
+        let (recovered, report) = Engine::recover(config.clone(), &state).unwrap();
         prop_assert_eq!(
             live_rows(&recovered),
             expect,
@@ -235,7 +235,7 @@ proptest! {
         // Crash–recover–mutate–crash–recover: the recovered engine's
         // fresh log and reinstalled base image must compose.
         let config = EngineConfig::default();
-        let engine = preloaded_engine(config);
+        let engine = preloaded_engine(config.clone());
         let session = engine.session();
         for (i, op) in ops.iter().enumerate() {
             match op {
@@ -262,7 +262,7 @@ proptest! {
         }
         let full = engine.appended_log().len() as u64;
         let state = engine.crash_state(Some(full * cut_frac / 1000));
-        let (mid, _) = Engine::recover(config, &state).unwrap();
+        let (mid, _) = Engine::recover(config.clone(), &state).unwrap();
 
         // Mutate the survivor, commit, crash again at the durable point.
         let s2 = mid.session();

@@ -33,6 +33,20 @@ pub enum StorageError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A real-file backend operation failed (open, extend, pread/pwrite).
+    /// Carries the rendered [`std::io::Error`] — the source error is not
+    /// `Clone`/`Eq`, which this enum is.
+    Io {
+        /// What failed and the OS error text.
+        detail: String,
+    },
+}
+
+impl StorageError {
+    /// Wrap an [`std::io::Error`] with context about what was attempted.
+    pub fn from_io(context: &str, err: &std::io::Error) -> StorageError {
+        StorageError::Io { detail: format!("{context}: {err}") }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -49,6 +63,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::UnknownColumn { name } => {
                 write!(f, "unknown column: {name}")
+            }
+            StorageError::Io { detail } => {
+                write!(f, "file backend I/O error: {detail}")
             }
         }
     }
@@ -70,5 +87,8 @@ mod tests {
         assert_eq!(e.to_string(), "unknown column: zip");
         let e = StorageError::SchemaMismatch { detail: "arity 2 != 3".into() };
         assert!(e.to_string().contains("arity"));
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "no such file");
+        let e = StorageError::from_io("open /tmp/x/f0.pages", &io);
+        assert_eq!(e.to_string(), "file backend I/O error: open /tmp/x/f0.pages: no such file");
     }
 }

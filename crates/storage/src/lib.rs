@@ -29,9 +29,15 @@
 //!   the recovery PR its records are typed, checksummed [`LogPayload`]
 //!   frames ([`logrec`]) with stream-offset LSNs, and the framed stream
 //!   is retained so [`decode_stream`] can replay it after a crash.
+//! * [`FileDisk`] — a real-file page store (`pread`/`pwrite`, one
+//!   vectored syscall per contiguous run, optional `O_DIRECT`). Pair it
+//!   with [`DiskSim::with_backing`] ([`Backend::File`]) and every charge
+//!   also hits the device, landing wall-clock nanoseconds in
+//!   [`IoStats::read_wall_ns`]/[`IoStats::write_wall_ns`] next to the
+//!   sim-ms — the `file_io` bench's sim-vs-hardware methodology.
 //! * [`StorageShard`] — one disk + pool pair; a set of them lets a higher
 //!   layer partition data so concurrent scans stop interleaving a single
-//!   simulated head.
+//!   simulated head. [`Backend`] picks the device each shard runs on.
 //! * [`GroupCommitWal`] — leader-elected batched commits over a [`Wal`]:
 //!   concurrent committers share one tail flush.
 //! * [`MvccState`] / [`Snapshot`] — the multi-version commit clock,
@@ -48,6 +54,7 @@ pub mod bufferpool;
 pub mod cache;
 pub mod disk;
 pub mod error;
+pub mod filedisk;
 pub mod group_commit;
 pub mod heap;
 pub mod logrec;
@@ -62,6 +69,7 @@ pub use bufferpool::{BufferPool, PoolStats};
 pub use cache::ReadCache;
 pub use disk::{for_each_page_run, DiskConfig, DiskSim, FileId, IoStats, PageAccessor, PerPageIo};
 pub use error::StorageError;
+pub use filedisk::{FileDisk, TempDir};
 pub use group_commit::{GroupCommitConfig, GroupCommitStats, GroupCommitWal};
 pub use heap::HeapFile;
 pub use logrec::{
@@ -73,7 +81,7 @@ pub use mvcc::{
 };
 pub use rid::Rid;
 pub use schema::{Column, Row, Schema, ValueType};
-pub use shard::{aggregate_io, aggregate_pool, makespan_ms, StorageShard};
+pub use shard::{aggregate_io, aggregate_pool, makespan_ms, Backend, StorageShard};
 pub use value::{OrdF64, Value};
 pub use wal::{LogWrite, Wal, WalBatch};
 

@@ -42,7 +42,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{
+    Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 
 /// `end` stamp of a live (not yet deleted) row version.
 pub const LIVE_TS: u64 = u64::MAX;
@@ -109,6 +111,29 @@ impl MvccState {
         Self { clock: AtomicU64::new(1), ..Self::default() }
     }
 
+    // Poison-tolerant lock helpers. The std locks poison when a holder
+    // panics; here every critical section only moves the protected map
+    // between internally-consistent states (insert / remove / retain /
+    // clear — no multi-step invariants are ever exposed mid-flight), so
+    // a panicked holder must not wedge every subsequent reader and
+    // writer behind `PoisonError`. `into_inner` recovers the guard.
+
+    fn commits_read(&self) -> RwLockReadGuard<'_, HashMap<u64, u64>> {
+        self.commits.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn commits_write(&self) -> RwLockWriteGuard<'_, HashMap<u64, u64>> {
+        self.commits.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn active_lock(&self) -> MutexGuard<'_, BTreeMap<u64, usize>> {
+        self.active.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn commit_guard(&self) -> MutexGuard<'_, ()> {
+        self.commit_lock.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Current clock value — the timestamp a snapshot taken now reads at.
     pub fn now(&self) -> u64 {
         self.clock.load(Ordering::Acquire)
@@ -119,7 +144,7 @@ impl MvccState {
     /// shard the mutation touches: any snapshot new enough to see the
     /// stamp then can't scan that shard until the row is in place.
     pub fn next_ts(&self) -> u64 {
-        let _g = self.commit_lock.lock().unwrap();
+        let _g = self.commit_guard();
         let ts = self.now() + 1;
         self.clock.store(ts, Ordering::Release);
         ts
@@ -128,9 +153,9 @@ impl MvccState {
     /// Commit `txn`: allocate its timestamp, record it in the commit
     /// table, then publish the clock. Returns the commit timestamp.
     pub fn commit_txn(&self, txn: u64) -> u64 {
-        let _g = self.commit_lock.lock().unwrap();
+        let _g = self.commit_guard();
         let ts = self.now() + 1;
-        self.commits.write().unwrap().insert(txn, ts);
+        self.commits_write().insert(txn, ts);
         self.clock.store(ts, Ordering::Release);
         ts
     }
@@ -138,23 +163,23 @@ impl MvccState {
     /// Resolve a pending stamp to its commit timestamp, if the owning
     /// transaction has committed.
     pub fn resolve(&self, stamp: u64) -> Option<u64> {
-        self.commits.read().unwrap().get(&pending_txn(stamp)).copied()
+        self.commits_read().get(&pending_txn(stamp)).copied()
     }
 
     /// After a crash restart: force the clock to `ts` (recovery sets it
     /// past the largest logged commit timestamp) and drop all volatile
     /// commit-table / snapshot state.
     pub fn reset_clock(&self, ts: u64) {
-        let _g = self.commit_lock.lock().unwrap();
+        let _g = self.commit_guard();
         self.clock.store(ts.max(1), Ordering::Release);
-        self.commits.write().unwrap().clear();
+        self.commits_write().clear();
     }
 
     /// Open a registered snapshot at the current clock. The snapshot
     /// pins its timestamp in the active set until dropped, which is
     /// what holds vacuum back from reclaiming versions it can see.
     pub fn begin(self: &Arc<Self>) -> Snapshot {
-        let mut active = self.active.lock().unwrap();
+        let mut active = self.active_lock();
         let ts = self.now();
         *active.entry(ts).or_insert(0) += 1;
         Snapshot { ts, state: Arc::clone(self) }
@@ -164,7 +189,7 @@ impl MvccState {
     /// clock when no reader is active. Versions ended at or below this
     /// are invisible to every present and future snapshot.
     pub fn oldest_live(&self) -> u64 {
-        let active = self.active.lock().unwrap();
+        let active = self.active_lock();
         active.keys().next().copied().unwrap_or_else(|| self.now())
     }
 
@@ -172,7 +197,7 @@ impl MvccState {
     /// every stamp of those transactions has been rewritten to its
     /// plain timestamp (vacuum's rewrite pass guarantees this).
     pub fn prune_commits(&self, cutoff: u64) {
-        self.commits.write().unwrap().retain(|_, ts| *ts > cutoff);
+        self.commits_write().retain(|_, ts| *ts > cutoff);
     }
 
     /// Record `n` versions physically reclaimed by vacuum.
@@ -192,12 +217,12 @@ impl MvccState {
 
     /// Snapshot the counters.
     pub fn stats(&self) -> MvccStats {
-        let active = self.active.lock().unwrap();
+        let active = self.active_lock();
         MvccStats {
             clock: self.now(),
             active_snapshots: active.values().map(|&n| n as u64).sum(),
             oldest_live: active.keys().next().copied().unwrap_or_else(|| self.now()),
-            pending_commits: self.commits.read().unwrap().len() as u64,
+            pending_commits: self.commits_read().len() as u64,
             reclaimed_versions: self.reclaimed.load(Ordering::Relaxed),
             resolved_stamps: self.resolved.load(Ordering::Relaxed),
             vacuum_runs: self.vacuums.load(Ordering::Relaxed),
@@ -242,7 +267,7 @@ impl Snapshot {
 
 impl Drop for Snapshot {
     fn drop(&mut self) {
-        let mut active = self.state.active.lock().unwrap();
+        let mut active = self.state.active_lock();
         if let std::collections::btree_map::Entry::Occupied(mut e) = active.entry(self.ts) {
             *e.get_mut() -= 1;
             if *e.get() == 0 {
@@ -340,6 +365,39 @@ mod tests {
         mv.prune_commits(t1);
         assert_eq!(mv.resolve(pending_stamp(1)), None, "pruned");
         assert_eq!(mv.resolve(pending_stamp(2)), Some(t2), "kept");
+    }
+
+    #[test]
+    fn poisoned_locks_do_not_wedge_readers() {
+        // A thread that panics while holding the commit-table write lock
+        // (and the active-set mutex) poisons both std locks. The
+        // poison-tolerant helpers must keep every subsequent operation
+        // working — a crashed writer can't take the MVCC state down.
+        let mv = Arc::new(MvccState::new());
+        let t1 = mv.commit_txn(1);
+        let poisoner = Arc::clone(&mv);
+        let _ = std::thread::spawn(move || {
+            let _commits = poisoner.commits.write().unwrap();
+            let _active = poisoner.active.lock().unwrap();
+            panic!("die holding both locks");
+        })
+        .join();
+        assert!(mv.commits.write().is_err(), "lock really is poisoned");
+        assert!(mv.active.lock().is_err(), "lock really is poisoned");
+        // Reads, writes, snapshots, and stats all still work.
+        assert_eq!(mv.resolve(pending_stamp(1)), Some(t1));
+        let t2 = mv.commit_txn(2);
+        assert_eq!(mv.resolve(pending_stamp(2)), Some(t2));
+        let snap = mv.begin();
+        assert!(snap.sees(t1, LIVE_TS));
+        assert_eq!(mv.stats().active_snapshots, 1);
+        assert_eq!(mv.oldest_live(), snap.ts());
+        drop(snap); // Snapshot::drop also takes the poisoned active lock
+        assert_eq!(mv.stats().active_snapshots, 0);
+        mv.prune_commits(t1);
+        assert_eq!(mv.resolve(pending_stamp(1)), None);
+        mv.reset_clock(50);
+        assert_eq!(mv.now(), 50);
     }
 
     #[test]

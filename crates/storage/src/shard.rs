@@ -10,7 +10,52 @@
 
 use crate::bufferpool::{BufferPool, PoolStats};
 use crate::disk::{DiskConfig, DiskSim, IoStats};
+use crate::error::StorageError;
+use crate::filedisk::FileDisk;
+use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Which device a shard's (or the WAL's) disk runs on.
+///
+/// [`Backend::Sim`] is the deterministic default: pure [`DiskSim`],
+/// sim-ms only, byte-for-byte reproducible — every existing test and
+/// experiment uses it. [`Backend::File`] additionally backs each disk
+/// with a [`FileDisk`] under `dir` (each disk gets its own
+/// subdirectory), so every charge performs the real `pread`/`pwrite`
+/// and the wall clock lands in [`IoStats::read_wall_ns`] /
+/// [`IoStats::write_wall_ns`]. The sim counters are identical either
+/// way — the backend knob changes what is *measured*, never what is
+/// *computed*.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Pure simulation (the deterministic oracle).
+    #[default]
+    Sim,
+    /// Real files under `dir`; `direct` requests `O_DIRECT` (falls back
+    /// to buffered I/O where unsupported — tmpfs, odd page sizes).
+    File {
+        /// Directory that holds one subdirectory per disk.
+        dir: PathBuf,
+        /// Request `O_DIRECT` (bypass the OS page cache).
+        direct: bool,
+    },
+}
+
+impl Backend {
+    /// Build one disk on this backend. `name` keys the disk's
+    /// subdirectory under a [`Backend::File`] root (e.g. `"shard0"`,
+    /// `"wal"`); [`Backend::Sim`] ignores it.
+    pub fn make_disk(&self, cfg: DiskConfig, name: &str) -> Result<Arc<DiskSim>, StorageError> {
+        match self {
+            Backend::Sim => Ok(DiskSim::new(cfg)),
+            Backend::File { dir, direct } => {
+                let fd = FileDisk::new(dir.join(name), cfg.page_bytes, *direct)
+                    .map_err(|e| StorageError::from_io(&format!("open backend dir for {name}"), &e))?;
+                Ok(DiskSim::with_backing(cfg, fd))
+            }
+        }
+    }
+}
 
 /// One storage backend: a simulated disk plus its private buffer pool.
 pub struct StorageShard {
@@ -25,6 +70,19 @@ impl StorageShard {
         let disk = DiskSim::new(cfg);
         let pool = BufferPool::new(disk.clone(), pool_pages);
         StorageShard { disk, pool }
+    }
+
+    /// Like [`StorageShard::new`], but the disk is built on `backend`
+    /// (`name` keys its directory under a [`Backend::File`] root).
+    pub fn with_backend(
+        cfg: DiskConfig,
+        pool_pages: usize,
+        backend: &Backend,
+        name: &str,
+    ) -> Result<Self, StorageError> {
+        let disk = backend.make_disk(cfg, name)?;
+        let pool = BufferPool::new(disk.clone(), pool_pages);
+        Ok(StorageShard { disk, pool })
     }
 
     /// The shard's simulated disk.
@@ -131,6 +189,7 @@ mod tests {
             page_writes: 1,
             write_seeks: 1,
             elapsed_ms: 12.0,
+            ..Default::default()
         };
         let b = IoStats {
             seeks: 1,
@@ -138,6 +197,7 @@ mod tests {
             page_writes: 0,
             write_seeks: 0,
             elapsed_ms: 5.5,
+            ..Default::default()
         };
         let total = aggregate_io([&a, &b]);
         assert_eq!(total.seeks, 3);
@@ -160,5 +220,29 @@ mod tests {
         assert_eq!(io.page_writes, 2);
         s.reset_io();
         assert_eq!(s.io_stats(), IoStats::default());
+    }
+
+    #[test]
+    fn file_backend_shards_measure_wall_clock() {
+        use crate::filedisk::TempDir;
+        let tmp = TempDir::new("cm-shard-backend").unwrap();
+        let backend =
+            Backend::File { dir: tmp.path().to_path_buf(), direct: false };
+        let sim = StorageShard::with_backend(DiskConfig::default(), 8, &Backend::Sim, "s").unwrap();
+        let file =
+            StorageShard::with_backend(DiskConfig::default(), 8, &backend, "shard0").unwrap();
+        for s in [&sim, &file] {
+            let f = s.disk().alloc_file();
+            s.disk().read_run(f, 0, 9);
+        }
+        // Identical sim accounting, wall clock only on the file backend.
+        assert_eq!(sim.io_stats().seeks, file.io_stats().seeks);
+        assert_eq!(sim.io_stats().seq_reads, file.io_stats().seq_reads);
+        assert_eq!(sim.io_stats().read_wall_ns, 0);
+        assert!(file.io_stats().read_wall_ns > 0);
+        // The disk's files landed under its named subdirectory.
+        assert!(tmp.path().join("shard0").join("f0.pages").exists());
+        assert!(file.disk().backing().is_some());
+        assert_eq!(Backend::default(), Backend::Sim);
     }
 }

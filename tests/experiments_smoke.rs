@@ -184,6 +184,44 @@ fn run_io_smoke() {
 }
 
 #[test]
+fn file_io_smoke() {
+    // `run()` itself asserts the correctness invariants (modes agree on
+    // matched rows and page counts) and the aggregate "vectored never
+    // >10% slower on the wall clock" gate — reaching here means real
+    // pread/pwrite happened and held them. Absolute wall timings are
+    // NOT asserted (noisy shared machines); structure and sim-side
+    // equalities are.
+    let r = experiments::file_io::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 6, "three access paths x two session counts");
+    assert!(r.to_json().contains("\"id\":\"file_io\""));
+    let cell = |label: &str, idx: usize| -> String {
+        r.rows
+            .iter()
+            .find(|row| row.label == label)
+            .unwrap_or_else(|| panic!("row {label} present"))
+            .cells[idx]
+            .clone()
+    };
+    let num = |label: &str, idx: usize| -> f64 {
+        cell(label, idx).trim_end_matches('x').parse().expect("numeric cell")
+    };
+    for path in ["full scan", "secondary sorted", "cm scan"] {
+        // Alone, the two modes' *sim* pricing is identical on the
+        // backed disk too — the backing never perturbs the accounting.
+        let label = format!("{path} x 1 session(s)");
+        let sim_speedup = num(&label, 3);
+        assert!((sim_speedup - 1.0).abs() < 0.01, "{label}: sim speedup {sim_speedup} != 1x");
+        // Wall times were actually measured: nonzero in every cell.
+        for sessions in [1usize, 8] {
+            let label = format!("{path} x {sessions} session(s)");
+            assert!(num(&label, 4) > 0.0, "{label}: no per-page wall time measured");
+            assert!(num(&label, 5) > 0.0, "{label}: no vectored wall time measured");
+        }
+    }
+    check(r, true);
+}
+
+#[test]
 fn advisor_mix_smoke() {
     let r = experiments::advisor_mix::run(BenchScale::Smoke);
     assert_eq!(r.rows.len(), 8, "four configurations at two mixes");

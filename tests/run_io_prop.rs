@@ -9,7 +9,8 @@
 use cm_core::CmSpec;
 use cm_query::{ExecContext, Pred, Query, Table};
 use cm_storage::{
-    BufferPool, Column, DiskSim, PageAccessor, PerPageIo, Row, Schema, Value, ValueType,
+    BufferPool, Column, DiskConfig, DiskSim, FileDisk, IoStats, PageAccessor, PerPageIo,
+    Row, Schema, TempDir, Value, ValueType,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -151,6 +152,69 @@ proptest! {
                 prop_assert_eq!(
                     run_disk_delta.pages(), page_disk_delta.pages(),
                     "identical disk page counts: path {} q {:?}", path, &q
+                );
+            }
+        }
+    }
+}
+
+/// Sim counters equal (the backing must never perturb the accounting);
+/// the wall-clock fields are the only permitted difference.
+fn sim_counters_equal(a: &IoStats, b: &IoStats) -> bool {
+    a.seeks == b.seeks
+        && a.seq_reads == b.seq_reads
+        && a.page_writes == b.page_writes
+        && a.write_seeks == b.write_seeks
+        && (a.elapsed_ms - b.elapsed_ms).abs() < 1e-9
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A `FileDisk`-backed disk is oracle-equal to the pure simulator on
+    /// the same sweeps: row-for-row identical results, identical sim
+    /// counters — only the clock (real `pread`/`pwrite` wall time)
+    /// differs, and it must be nonzero where pages moved.
+    #[test]
+    fn filedisk_backed_sweeps_are_oracle_equal(
+        data in rows_strategy(),
+        lo in 0i64..400,
+        span in 0i64..120,
+        point in 0i64..400,
+    ) {
+        let tmp = TempDir::new("cm-runio-prop").expect("tempdir");
+        let cfg = DiskConfig::default();
+        let sim = DiskSim::new(cfg);
+        let backed = DiskSim::with_backing(
+            cfg,
+            FileDisk::new(tmp.path().join("d"), cfg.page_bytes, false).expect("filedisk"),
+        );
+        let t_sim = build_table(&sim, &data);
+        let t_backed = build_table(&backed, &data);
+        prop_assert!(
+            sim_counters_equal(&sim.stats(), &backed.stats()),
+            "table build accounting: {:?} vs {:?}", sim.stats(), backed.stats()
+        );
+        for q in queries(lo, span, point) {
+            for path in 0..3usize {
+                let before_sim = sim.stats();
+                let before_backed = backed.stats();
+                let rows_sim = run_path(&t_sim, &sim, sim.as_ref(), path, &q);
+                let rows_backed = run_path(&t_backed, &backed, backed.as_ref(), path, &q);
+                let d_sim = sim.stats().since(&before_sim);
+                let d_backed = backed.stats().since(&before_backed);
+
+                let want = oracle(&t_sim, &q);
+                prop_assert_eq!(&rows_sim, &want, "sim path {} q {:?}", path, &q);
+                prop_assert_eq!(&rows_backed, &want, "backed path {} q {:?}", path, &q);
+                prop_assert!(
+                    sim_counters_equal(&d_sim, &d_backed),
+                    "path {} q {:?}: {:?} vs {:?}", path, &q, d_sim, d_backed
+                );
+                prop_assert_eq!(d_sim.read_wall_ns, 0, "pure sim never touches a device");
+                prop_assert!(
+                    d_backed.pages() == 0 || d_backed.read_wall_ns > 0,
+                    "backed reads must take wall time when pages moved: {:?}", d_backed
                 );
             }
         }
