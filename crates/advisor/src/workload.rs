@@ -58,6 +58,12 @@ pub struct ColumnAccess {
     /// Cumulative estimated lookup keys across those queries (1 per Eq,
     /// list length per IN, estimated distinct values per range).
     pub lookup_keys: f64,
+    /// Joins that probed this column (the build side's distinct keys
+    /// arriving as one wide IN-shaped lookup). A column that is hot as a
+    /// join key benefits from a CM exactly like a hot IN column — the
+    /// clamped probe is priced with the same formulas — so these reads
+    /// count toward structure selection too.
+    pub join_probes: u64,
     /// Sketch of distinct predicate values queried (bounded space).
     distinct: DistinctSampler,
 }
@@ -68,6 +74,7 @@ impl ColumnAccess {
             col,
             reads: 0,
             lookup_keys: 0.0,
+            join_probes: 0,
             distinct: DistinctSampler::new(DISTINCT_SKETCH_CAP),
         }
     }
@@ -133,6 +140,20 @@ impl WorkloadProfile {
         for &h in value_hashes {
             access.distinct.observe_hash(h);
         }
+    }
+
+    /// Record one join probing `col` with `lookup_keys` distinct
+    /// build-side keys: counted like a wide IN predicate (so the advisor
+    /// prices hot join keys into structure selection) plus a join-probe
+    /// tally (so the profile shows *why* the column is hot).
+    pub fn note_join_probe(&mut self, col: usize, lookup_keys: f64, value_hashes: &[u64]) {
+        self.note_pred(col, lookup_keys, value_hashes);
+        let access = self
+            .cols
+            .iter_mut()
+            .find(|c| c.col == col)
+            .expect("note_pred inserted the column");
+        access.join_probes += 1;
     }
 
     /// Record one row write (insert or delete).
@@ -698,6 +719,20 @@ mod tests {
         p.reset();
         assert_eq!(p.ops(), 0);
         assert!(p.cols().is_empty());
+    }
+
+    #[test]
+    fn join_probes_count_as_wide_in_lookups() {
+        let mut p = WorkloadProfile::new();
+        p.note_read();
+        p.note_join_probe(2, 40.0, &[1, 2, 3]);
+        p.note_read();
+        p.note_pred(2, 1.0, &[4]);
+        let c = p.col(2).unwrap();
+        assert_eq!(c.join_probes, 1);
+        assert_eq!(c.reads, 2, "a join probe is also a read of the column");
+        assert!((c.lookup_keys - 41.0).abs() < 1e-9);
+        assert!((c.distinct_queried() - 4.0).abs() < 1e-9);
     }
 
     #[test]

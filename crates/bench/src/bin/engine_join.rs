@@ -1,0 +1,29 @@
+//! Regenerates the join benchmark (see
+//! `cm_bench::experiments::engine_join`). Prints the table and emits
+//! the result as JSON (machine-readable; `--json-out path` writes it to
+//! a file). Run with `cargo run --release -p cm-bench --bin engine_join`.
+
+use cm_bench::datasets::BenchScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        BenchScale::Smoke
+    } else {
+        BenchScale::Full
+    };
+    let report = cm_bench::experiments::engine_join::run(scale);
+    eprintln!("{}", report.to_text());
+    let json = report.to_json();
+    match args
+        .iter()
+        .position(|a| a == "--json-out")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write JSON report");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -5,6 +5,7 @@
 
 pub mod ablation_equidepth;
 pub mod advisor_mix;
+pub mod engine_join;
 pub mod engine_mixed;
 pub mod engine_sharded;
 pub mod fanout_latency;
@@ -46,6 +47,7 @@ pub fn run_all(scale: BenchScale) -> Vec<Report> {
         ablation_equidepth::run(scale),
         engine_mixed::run(scale),
         engine_sharded::run(scale),
+        engine_join::run(scale),
         fanout_latency::run(scale),
         mvcc_reads::run(scale),
         run_io::run(scale),

@@ -150,6 +150,52 @@ impl CostParams {
         n_lookups * bucketed_c_per_u * per_group
     }
 
+    // ---- join costs ----------------------------------------------------
+    //
+    // A partitioned hash join prices as: build the hash table (the build
+    // side's planned read cost, paid either way) + a probe-side read.
+    // The two probe-side strategies reuse the single-table formulas —
+    // the probe is just another access-path decision, made with exact
+    // CM lookups instead of estimated statistics because by probe time
+    // the build keys are known.
+
+    /// Hash-join probe over this (probe-side) table: a full sequential
+    /// sweep of the shard, probing the memory-resident hash table per
+    /// row (the probe itself is charged zero I/O, like a CM lookup).
+    pub fn cost_hash_probe(&self) -> f64 {
+        self.cost_scan()
+    }
+
+    /// CM-clamped join probe (§5.2 applied to a join): the distinct
+    /// build keys become an `IN` constraint on the probe table's CM, the
+    /// reached buckets' page ranges merge into maximal contiguous runs,
+    /// and the probe pays exactly what the executor charges:
+    ///
+    /// * one cold clustered descent (`seek · clustered_height`) — the
+    ///   per-query read cache shares the upper index levels, so each
+    ///   *further* run adds only its uncached leaf (`seek` each);
+    /// * one head seek per merged run, then its pages sequentially
+    ///   (`seek · n_runs + seq · total_pages`).
+    ///
+    /// `n_runs` / `total_pages` come from an exact `cm_lookup` over the
+    /// build keys — not an estimate — which is why this is unbounded: an
+    /// uncorrelated join key reaches buckets scattered across the whole
+    /// heap, the runs stay short and numerous, and the seek term prices
+    /// the clamp *above* [`CostParams::cost_hash_probe`] (runs re-seek;
+    /// a scan does not), steering the planner back to the hash path.
+    pub fn cost_cm_join_probe(
+        &self,
+        n_runs: f64,
+        total_pages: f64,
+        clustered_height: f64,
+    ) -> f64 {
+        if n_runs <= 0.0 {
+            return 0.0;
+        }
+        self.seek_ms * (clustered_height + 2.0 * n_runs - 1.0)
+            + self.seq_page_ms * total_pages
+    }
+
     // ---- maintenance (write-side) costs --------------------------------
     //
     // The paper's Experiment 3 asymmetry, stated as per-write estimates so
@@ -315,6 +361,31 @@ mod tests {
     #[test]
     fn cm_maintenance_is_free() {
         assert_eq!(params().cost_cm_maintenance(), 0.0);
+    }
+
+    #[test]
+    fn hash_probe_prices_as_a_scan() {
+        let p = params();
+        assert_eq!(p.cost_hash_probe(), p.cost_scan());
+    }
+
+    #[test]
+    fn cm_join_probe_crossover() {
+        let p = params();
+        // Correlated join key: the build keys' buckets merge into a few
+        // long sequential runs — far below the probe scan.
+        let clamped = p.cost_cm_join_probe(20.0, 200.0, 3.0);
+        assert!(clamped < 0.5 * p.cost_hash_probe(), "{clamped}");
+        // Uncorrelated join key: the reached buckets scatter, the merged
+        // runs stay short and numerous, and the seek term prices the
+        // clamp above the plain sweep — the signal that sends the
+        // planner back to the hash join.
+        let degraded = p.cost_cm_join_probe(500.0, 5_000.0, 3.0);
+        assert!(degraded > p.cost_hash_probe(), "{degraded}");
+        // Monotone in runs and in swept pages; empty clamps are free.
+        assert!(p.cost_cm_join_probe(40.0, 200.0, 3.0) > clamped);
+        assert!(p.cost_cm_join_probe(20.0, 400.0, 3.0) > clamped);
+        assert_eq!(p.cost_cm_join_probe(0.0, 0.0, 3.0), 0.0);
     }
 
     #[test]

@@ -299,10 +299,10 @@ pub struct Engine {
     pub(crate) backends: Vec<StorageShard>,
     pub(crate) log_disk: Arc<DiskSim>,
     pub(crate) wal: GroupCommitWal,
-    planner: Planner,
-    executor: Executor,
+    pub(crate) planner: Planner,
+    pub(crate) executor: Executor,
     pub(crate) catalog: RwLock<HashMap<String, Arc<TableEntry>>>,
-    queries: AtomicU64,
+    pub(crate) queries: AtomicU64,
     inserts: AtomicU64,
     deletes: AtomicU64,
     route_full: AtomicU64,
@@ -342,6 +342,10 @@ pub struct Engine {
     /// Longest single read-lock wait (ns).
     read_stall_max_ns: AtomicU64,
 }
+
+/// One leg's execution result: its run measurement plus any collected
+/// rows.
+pub(crate) type LegRun = Result<(RunResult, Vec<Row>)>;
 
 /// Versions a vacuum pass physically reclaims per shard write-lock
 /// hold. Between chunks the lock is released, bounding how long any
@@ -1063,7 +1067,12 @@ impl Engine {
     /// cost (no statistics, or no predicate on the index's leading
     /// column) keeps a NaN estimate instead of borrowing the cheapest
     /// path's number.
-    fn plan_query(&self, lt: &LoadedTable, q: &Query, forced: Option<AccessPath>) -> QueryPlan {
+    pub(crate) fn plan_query(
+        &self,
+        lt: &LoadedTable,
+        q: &Query,
+        forced: Option<AccessPath>,
+    ) -> QueryPlan {
         let mut legs = Vec::new();
         for i in lt.router.shards_for(q) {
             let Some(sub) = restrict_to_shard(q, lt.router.col(), &lt.router.range_of(i))
@@ -1097,7 +1106,7 @@ impl Engine {
     /// charging (the paper's §3.1 model). A forced secondary path the
     /// index cannot serve (no predicate on its first key column)
     /// surfaces as [`EngineError::Query`].
-    fn run_leg(
+    pub(crate) fn run_leg(
         &self,
         lt: &LoadedTable,
         leg: &ShardLeg,
@@ -1105,6 +1114,26 @@ impl Engine {
         cold: bool,
         snap: Option<&Snapshot>,
     ) -> Result<(RunResult, Vec<Row>)> {
+        let mut rows: Vec<Row> = Vec::new();
+        let r = self.run_leg_visit(lt, leg, cold, snap, |row| {
+            if collect {
+                rows.push(row.to_vec());
+            }
+        })?;
+        Ok((r, rows))
+    }
+
+    /// [`Engine::run_leg`] with an arbitrary visitor over the leg's
+    /// matching rows — the shared execute core single-table collection,
+    /// per-leg aggregation folds, and hash-join probes all drive.
+    pub(crate) fn run_leg_visit(
+        &self,
+        lt: &LoadedTable,
+        leg: &ShardLeg,
+        cold: bool,
+        snap: Option<&Snapshot>,
+        mut visit: impl FnMut(&[cm_storage::Value]),
+    ) -> Result<RunResult> {
         let waited = std::time::Instant::now();
         let part = lt.parts[leg.shard].read();
         self.note_read_stall(waited.elapsed());
@@ -1118,12 +1147,6 @@ impl Engine {
         if let Some(s) = snap {
             ctx = ctx.at_snapshot(s);
         }
-        let mut rows: Vec<Row> = Vec::new();
-        let mut visit = |row: &[cm_storage::Value]| {
-            if collect {
-                rows.push(row.to_vec());
-            }
-        };
         let q = &leg.query;
         let r = match leg.choice.path {
             AccessPath::FullScan => t.exec_full_scan_visit(&ctx, q, &mut visit),
@@ -1135,7 +1158,7 @@ impl Engine {
             }
             AccessPath::CmScan(id) => t.exec_cm_scan_visit(&ctx, id, q, &mut visit),
         };
-        Ok((r, rows))
+        Ok(r)
     }
 
     /// Record one read query in the table's workload profile: per
@@ -1145,7 +1168,7 @@ impl Engine {
     /// whose read lock is taken lazily and only then, so point-query
     /// profiling never couples shards); columns without statistics fall
     /// back to one lookup key.
-    fn profile_read(&self, entry: &TableEntry, lt: &LoadedTable, q: &Query) {
+    pub(crate) fn profile_read(&self, entry: &TableEntry, lt: &LoadedTable, q: &Query) {
         let cols = q.predicated_cols();
         let mut noted: Vec<(usize, f64, Vec<u64>)> = Vec::with_capacity(cols.len());
         let mut t0 = None;
@@ -1232,7 +1255,15 @@ impl Engine {
         let mut rows: Vec<Row> = Vec::new();
         let mut legs: Vec<LegOutcome> = Vec::with_capacity(plan.legs.len());
         let mut leg_ms: Vec<f64> = Vec::with_capacity(plan.legs.len());
-        for (leg, leg_run) in plan.legs.into_iter().zip(leg_runs) {
+        // Merge in explicit `merge_key` order — never completion order.
+        // The executor returns results in submission order and
+        // `QueryPlan::new` normalised submission to ascending merge key,
+        // so however many workers raced the legs, this pairing (and the
+        // concatenated row order below) is identical on 1 or N workers.
+        let mut paired: Vec<(ShardLeg, LegRun)> =
+            plan.legs.into_iter().zip(leg_runs).collect();
+        paired.sort_by_key(|(leg, _)| leg.merge_key());
+        for (leg, leg_run) in paired {
             let (r, leg_rows) = leg_run?;
             run.matched += r.matched;
             run.examined += r.examined;
@@ -1866,7 +1897,7 @@ impl Engine {
 
     /// Fold one shard-read-lock acquisition wait into the stall counters
     /// (see [`EngineStats::read_stall_ms`]).
-    fn note_read_stall(&self, waited: Duration) {
+    pub(crate) fn note_read_stall(&self, waited: Duration) {
         let ns = waited.as_nanos().min(u128::from(u64::MAX)) as u64;
         self.read_stall_ns.fetch_add(ns, Ordering::Relaxed);
         if waited >= Self::STALL_FLOOR {
@@ -1891,7 +1922,7 @@ impl Engine {
         }
     }
 
-    fn note_route(&self, path: AccessPath) {
+    pub(crate) fn note_route(&self, path: AccessPath) {
         let counter = match path {
             AccessPath::FullScan => &self.route_full,
             AccessPath::SecondarySorted(_) => &self.route_sorted,
@@ -1901,7 +1932,7 @@ impl Engine {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn entry(&self, table: &str) -> Result<Arc<TableEntry>> {
+    pub(crate) fn entry(&self, table: &str) -> Result<Arc<TableEntry>> {
         self.catalog
             .read()
             .get(table)

@@ -46,6 +46,15 @@ pub enum EngineError {
         /// The addressable maximum ([`cm_storage::Rid::MAX_SHARDS`]).
         max: usize,
     },
+    /// A forced correlation-clamped join probe named a CM the probe
+    /// table does not have, or one whose key does not include the join
+    /// column.
+    NoClampCm {
+        /// Probe-side table name.
+        table: String,
+        /// The join (probe) column the clamp needed.
+        col: usize,
+    },
     /// Crash recovery could not reconstruct a consistent state from the
     /// checkpoint image and surviving log prefix.
     Recovery(String),
@@ -71,6 +80,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::TooManyShards { requested, max } => {
                 write!(f, "{requested} shards exceed the RID-addressable maximum of {max}")
+            }
+            EngineError::NoClampCm { table, col } => {
+                write!(f, "table {table:?} has no CM covering join column {col} to clamp with")
             }
             EngineError::Recovery(why) => write!(f, "recovery failed: {why}"),
         }

@@ -35,6 +35,13 @@
 //!   query to the cheapest of the four physical access paths (full scan,
 //!   pipelined or sorted secondary B+Tree scan, CM-guided scan) — the
 //!   integration the paper argues for in §8;
+//! * **multi-table execution**: partitioned hash joins with a
+//!   cost-picked *correlation-clamped* probe ([`Engine::join`] — when the
+//!   probe table carries a CM on the join column, the build keys clamp
+//!   the probe to co-clustered page runs) and mergeable grouped
+//!   aggregation / DISTINCT / LIMIT ([`Engine::aggregate`],
+//!   [`Engine::select_distinct`]), both fanned out per shard and merged
+//!   in explicit merge-key order;
 //! * a **session layer** ([`Session`]): cheap per-connection handles over
 //!   an `Arc<Engine>` with per-session statistics and an optional
 //!   cold-read mode for cache-flushed experiments;
@@ -117,18 +124,22 @@
 
 #![warn(missing_docs)]
 
+mod agg;
 mod engine;
 mod error;
 pub mod executor;
+mod join;
 pub mod recovery;
 mod session;
 pub mod shard;
 pub mod workload;
 
+pub use agg::AggOutcome;
 pub use engine::{
     AppliedDesign, Engine, EngineConfig, EngineStats, LegOutcome, QueryOutcome, RouteCounts,
     TableInfo,
 };
+pub use join::JoinOutcome;
 pub use error::EngineError;
 pub use executor::{scheduled_makespan, Executor};
 pub use recovery::{CrashState, DurableImage, RecoveryReport, ShardImage, TableImage};
@@ -139,6 +150,10 @@ pub use workload::{run_mixed, AdviceOutcome, LatencyStats, MixedWorkloadConfig, 
 // The backend knob, re-exported so engine callers can pick the device
 // ([`EngineConfig::backend`]) without naming cm-storage directly.
 pub use cm_storage::Backend;
+
+// The multi-table vocabulary, re-exported so engine callers can build
+// joins and aggregations without naming cm-query directly.
+pub use cm_query::{AggFunc, AggSpec, JoinQuery, JoinSide, JoinStrategy};
 
 // The workload-aware advisor vocabulary, re-exported so engine callers
 // can advise/apply without naming cm-advisor directly.

@@ -1,0 +1,357 @@
+//! Grouped aggregation over visitor-driven scans.
+//!
+//! The access paths in [`crate::exec`] stream matching rows through a
+//! visitor; [`AggState`] is the fold target: a deterministic
+//! (`BTreeMap`-ordered) accumulator for `COUNT` / `SUM` / `MIN` / `MAX`
+//! grouped by a column tuple. States are **mergeable** — a sharded
+//! engine folds one state per shard leg and merges them in explicit
+//! merge-key order, so grouped results are identical however the legs
+//! were scheduled (the same determinism contract as PR 3's row fan-out).
+//!
+//! `DISTINCT` is the degenerate aggregation with an empty aggregate
+//! list: the group keys *are* the result. `LIMIT` truncates the final
+//! key-sorted group list, so a limited result is always a stable prefix
+//! of the unlimited one ("LIMIT-stability").
+
+use cm_storage::{Row, Value};
+use std::collections::BTreeMap;
+
+/// One aggregate function over a column (or over whole rows for
+/// [`AggFunc::Count`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)`: rows in the group (NULLs included — it counts rows,
+    /// not values).
+    Count,
+    /// `SUM(col)`, skipping NULLs. Integer inputs stay integers; a
+    /// single `Float` input promotes the sum to `Float`. A group with no
+    /// non-NULL input sums to `Null` (SQL semantics).
+    Sum(usize),
+    /// `MIN(col)`, skipping NULLs; `Null` if no non-NULL input.
+    Min(usize),
+    /// `MAX(col)`, skipping NULLs; `Null` if no non-NULL input.
+    Max(usize),
+}
+
+impl AggFunc {
+    /// The column this aggregate reads, if any (`COUNT(*)` reads none).
+    pub fn col(&self) -> Option<usize> {
+        match self {
+            AggFunc::Count => None,
+            AggFunc::Sum(c) | AggFunc::Min(c) | AggFunc::Max(c) => Some(*c),
+        }
+    }
+}
+
+/// A grouped-aggregation specification: `SELECT group_by, aggs FROM t
+/// WHERE ... GROUP BY group_by ORDER BY group_by LIMIT limit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Grouping columns, in output order. Empty means one global group.
+    pub group_by: Vec<usize>,
+    /// Aggregates computed per group, in output order (appended after
+    /// the group-key columns in each result row).
+    pub aggs: Vec<AggFunc>,
+    /// Keep only the first `limit` groups of the key-sorted output.
+    pub limit: Option<usize>,
+}
+
+impl AggSpec {
+    /// Group by `group_by`, computing `aggs` per group.
+    pub fn new(group_by: Vec<usize>, aggs: Vec<AggFunc>) -> Self {
+        AggSpec { group_by, aggs, limit: None }
+    }
+
+    /// `SELECT DISTINCT cols`: group by the projection with no
+    /// aggregates.
+    pub fn distinct(cols: Vec<usize>) -> Self {
+        AggSpec { group_by: cols, aggs: Vec::new(), limit: None }
+    }
+
+    /// Truncate the key-sorted output to its first `n` groups.
+    pub fn with_limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+}
+
+/// One aggregate's running value.
+#[derive(Debug, Clone, PartialEq)]
+enum Acc {
+    Count(u64),
+    /// No non-NULL input yet.
+    SumEmpty,
+    SumInt(i64),
+    SumFloat(f64),
+    MinMax(Option<Value>),
+}
+
+impl Acc {
+    fn fresh(f: &AggFunc) -> Acc {
+        match f {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum(_) => Acc::SumEmpty,
+            AggFunc::Min(_) | AggFunc::Max(_) => Acc::MinMax(None),
+        }
+    }
+
+    fn observe(&mut self, f: &AggFunc, row: &[Value]) {
+        match (self, f) {
+            (Acc::Count(n), AggFunc::Count) => *n += 1,
+            (acc @ (Acc::SumEmpty | Acc::SumInt(_) | Acc::SumFloat(_)), AggFunc::Sum(col)) => {
+                acc.add_value(&row[*col]);
+            }
+            (Acc::MinMax(m), AggFunc::Min(col)) => {
+                let v = &row[*col];
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v < cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            (Acc::MinMax(m), AggFunc::Max(col)) => {
+                let v = &row[*col];
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v > cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            _ => unreachable!("accumulator matches its function"),
+        }
+    }
+
+    /// Add one value into a sum accumulator (NULLs skipped; a float
+    /// promotes an integer running sum).
+    fn add_value(&mut self, v: &Value) {
+        let num = match v {
+            Value::Null => return,
+            v => v.as_numeric().expect("SUM over a numeric column"),
+        };
+        *self = match (&*self, v) {
+            (Acc::SumEmpty, Value::Float(_)) => Acc::SumFloat(num),
+            (Acc::SumEmpty, _) => Acc::SumInt(num as i64),
+            (Acc::SumInt(s), Value::Float(_)) => Acc::SumFloat(*s as f64 + num),
+            (Acc::SumInt(s), _) => Acc::SumInt(s + num as i64),
+            (Acc::SumFloat(s), _) => Acc::SumFloat(s + num),
+            _ => unreachable!("sum accumulator"),
+        };
+    }
+
+    /// Fold another leg's accumulator for the same function with this
+    /// one. Count/Min/Max merges are order-insensitive; float-sum merges
+    /// happen in the caller's explicit merge-key order, so the result is
+    /// deterministic across worker schedules. Min/Max resolution needs
+    /// the function for its direction.
+    fn merge_with(&self, f: &AggFunc, other: &Acc) -> Acc {
+        match (self, other) {
+            (Acc::Count(a), Acc::Count(b)) => Acc::Count(a + b),
+            (a, Acc::SumEmpty) => a.clone(),
+            (Acc::SumEmpty, b) => b.clone(),
+            (Acc::SumInt(a), Acc::SumInt(b)) => Acc::SumInt(a + b),
+            (Acc::SumInt(a), Acc::SumFloat(b)) => Acc::SumFloat(*a as f64 + b),
+            (Acc::SumFloat(a), Acc::SumInt(b)) => Acc::SumFloat(a + *b as f64),
+            (Acc::SumFloat(a), Acc::SumFloat(b)) => Acc::SumFloat(a + b),
+            (Acc::MinMax(a), Acc::MinMax(b)) => Acc::MinMax(match (a, b) {
+                (Some(av), Some(bv)) => {
+                    let take_b = match f {
+                        AggFunc::Min(_) => bv < av,
+                        AggFunc::Max(_) => bv > av,
+                        _ => unreachable!("min/max accumulator"),
+                    };
+                    Some(if take_b { bv.clone() } else { av.clone() })
+                }
+                (Some(v), None) | (None, Some(v)) => Some(v.clone()),
+                (None, None) => None,
+            }),
+            _ => unreachable!("accumulators merge like with like"),
+        }
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(*n as i64),
+            Acc::SumEmpty => Value::Null,
+            Acc::SumInt(s) => Value::Int(*s),
+            Acc::SumFloat(s) => Value::float(*s),
+            Acc::MinMax(m) => m.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// A mergeable grouped-aggregation accumulator. Feed it rows with
+/// [`AggState::observe`], merge per-leg states with [`AggState::merge`]
+/// (in explicit merge-key order), and read the key-sorted result rows
+/// with [`AggState::finish`].
+#[derive(Debug, Clone)]
+pub struct AggState {
+    spec: AggSpec,
+    groups: BTreeMap<Vec<Value>, Vec<Acc>>,
+}
+
+impl AggState {
+    /// An empty state for `spec`.
+    pub fn new(spec: &AggSpec) -> Self {
+        AggState { spec: spec.clone(), groups: BTreeMap::new() }
+    }
+
+    /// Fold one (already predicate-filtered) row.
+    pub fn observe(&mut self, row: &[Value]) {
+        let key: Vec<Value> = self.spec.group_by.iter().map(|&c| row[c].clone()).collect();
+        let aggs = &self.spec.aggs;
+        let accs = self
+            .groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(Acc::fresh).collect());
+        for (acc, f) in accs.iter_mut().zip(aggs) {
+            acc.observe(f, row);
+        }
+    }
+
+    /// Fold another leg's state (same spec) into this one. Callers merge
+    /// leg states in ascending merge-key order, making even float-sum
+    /// results bit-identical across worker counts.
+    pub fn merge(&mut self, other: &AggState) {
+        debug_assert_eq!(self.spec, other.spec, "merging states of one spec");
+        for (key, accs) in &other.groups {
+            match self.groups.get_mut(key) {
+                Some(mine) => {
+                    for ((a, b), f) in mine.iter_mut().zip(accs).zip(&self.spec.aggs) {
+                        *a = a.merge_with(f, b);
+                    }
+                }
+                None => {
+                    self.groups.insert(key.clone(), accs.clone());
+                }
+            }
+        }
+    }
+
+    /// Number of groups accumulated so far.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The result rows — group-key values followed by aggregate values,
+    /// ascending by group key, truncated to the spec's `limit`. A global
+    /// aggregation (empty `group_by`) over zero rows still yields its
+    /// one row (`COUNT = 0`, other aggregates `Null`), as SQL does.
+    pub fn finish(mut self) -> Vec<Row> {
+        if self.spec.group_by.is_empty() && self.groups.is_empty() {
+            self.groups
+                .insert(Vec::new(), self.spec.aggs.iter().map(Acc::fresh).collect());
+        }
+        let limit = self.spec.limit.unwrap_or(usize::MAX);
+        self.groups
+            .into_iter()
+            .take(limit)
+            .map(|(mut key, accs)| {
+                key.extend(accs.iter().map(Acc::finish));
+                key
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            vec![Value::Int(1), Value::Int(10), Value::float(0.5)],
+            vec![Value::Int(2), Value::Int(5), Value::float(1.5)],
+            vec![Value::Int(1), Value::Int(7), Value::Null],
+            vec![Value::Int(2), Value::Null, Value::float(2.0)],
+        ]
+    }
+
+    fn fold(spec: &AggSpec, rows: &[Row]) -> Vec<Row> {
+        let mut st = AggState::new(spec);
+        for r in rows {
+            st.observe(r);
+        }
+        st.finish()
+    }
+
+    #[test]
+    fn count_sum_min_max_grouped() {
+        let spec = AggSpec::new(
+            vec![0],
+            vec![AggFunc::Count, AggFunc::Sum(1), AggFunc::Min(1), AggFunc::Max(1)],
+        );
+        let out = fold(&spec, &rows());
+        assert_eq!(
+            out,
+            vec![
+                vec![Value::Int(1), Value::Int(2), Value::Int(17), Value::Int(7), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(2), Value::Int(5), Value::Int(5), Value::Int(5)],
+            ]
+        );
+    }
+
+    #[test]
+    fn sum_promotes_to_float_and_skips_nulls() {
+        let spec = AggSpec::new(vec![], vec![AggFunc::Sum(2), AggFunc::Count]);
+        let out = fold(&spec, &rows());
+        assert_eq!(out, vec![vec![Value::float(4.0), Value::Int(4)]]);
+    }
+
+    #[test]
+    fn global_agg_over_nothing_yields_one_row() {
+        let spec = AggSpec::new(vec![], vec![AggFunc::Count, AggFunc::Sum(1)]);
+        let out = fold(&spec, &[]);
+        assert_eq!(out, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn grouped_agg_over_nothing_yields_no_rows() {
+        let spec = AggSpec::new(vec![0], vec![AggFunc::Count]);
+        assert!(fold(&spec, &[]).is_empty());
+    }
+
+    #[test]
+    fn distinct_is_group_by_without_aggs() {
+        let spec = AggSpec::distinct(vec![0]);
+        let out = fold(&spec, &rows());
+        assert_eq!(out, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn limit_is_a_stable_prefix() {
+        let spec = AggSpec::new(vec![0], vec![AggFunc::Count]);
+        let full = fold(&spec, &rows());
+        let limited = fold(&spec.clone().with_limit(1), &rows());
+        assert_eq!(limited, full[..1].to_vec());
+    }
+
+    #[test]
+    fn merge_equals_single_fold_regardless_of_split() {
+        let spec = AggSpec::new(
+            vec![0],
+            vec![AggFunc::Count, AggFunc::Sum(1), AggFunc::Min(2), AggFunc::Max(2)],
+        );
+        let rs = rows();
+        let whole = fold(&spec, &rs);
+        for split in 0..=rs.len() {
+            let mut a = AggState::new(&spec);
+            let mut b = AggState::new(&spec);
+            for r in &rs[..split] {
+                a.observe(r);
+            }
+            for r in &rs[split..] {
+                b.observe(r);
+            }
+            a.merge(&b);
+            assert_eq!(a.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn min_max_merge_is_direction_aware() {
+        let spec = AggSpec::new(vec![], vec![AggFunc::Min(0), AggFunc::Max(0)]);
+        let mut a = AggState::new(&spec);
+        a.observe(&[Value::Int(5)]);
+        let mut b = AggState::new(&spec);
+        b.observe(&[Value::Int(3)]);
+        b.observe(&[Value::Int(9)]);
+        a.merge(&b);
+        assert_eq!(a.finish(), vec![vec![Value::Int(3), Value::Int(9)]]);
+    }
+}

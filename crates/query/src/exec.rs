@@ -302,16 +302,8 @@ impl Table {
         }
 
         // Merge bucket page ranges (adjacent buckets share boundary pages).
-        let mut ranges: Vec<(u64, u64)> =
-            buckets.iter().map(|&b| self.dir().page_range(b)).collect();
-        ranges.sort_unstable();
-        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
-        for (lo, hi) in ranges {
-            match merged.last_mut() {
-                Some((_, mhi)) if lo <= *mhi + 1 => *mhi = (*mhi).max(hi),
-                _ => merged.push((lo, hi)),
-            }
-        }
+        let merged =
+            merge_page_ranges(buckets.iter().map(|&b| self.dir().page_range(b)).collect());
 
         let mut matched = 0u64;
         let mut examined = 0u64;
@@ -336,6 +328,23 @@ impl Table {
         }
         RunResult { matched, examined, io: ctx.disk.stats().since(&before) }
     }
+}
+
+/// Merge inclusive page ranges into maximal contiguous runs: sorted,
+/// with ranges that touch or overlap (`lo <= prev_hi + 1`) coalesced.
+/// This is *the* unit of CM-guided I/O — every executor sweep issues
+/// one vectored read per merged run, and the cost model prices a
+/// clamped probe by run count, so both sides must merge identically.
+pub fn merge_page_ranges(mut ranges: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    ranges.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+    for (lo, hi) in ranges {
+        match merged.last_mut() {
+            Some((_, mhi)) if lo <= *mhi + 1 => *mhi = (*mhi).max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+    merged
 }
 
 /// Translate the query's predicates into per-attribute CM constraints

@@ -24,6 +24,18 @@ pub struct ShardLeg {
     pub choice: PlanChoice,
 }
 
+impl ShardLeg {
+    /// The deterministic merge key: engines concatenate leg outputs in
+    /// ascending `merge_key()` order, never in completion order, so
+    /// results are byte-identical across worker counts. For single-table
+    /// and join legs alike the key is the shard id — each shard owns a
+    /// disjoint clustered-key range, so ascending shards is ascending
+    /// clustered order.
+    pub fn merge_key(&self) -> u64 {
+        self.shard as u64
+    }
+}
+
 /// A planned query: every leg it will execute, in ascending shard order.
 /// Shards the router pruned (no key of the predicate can live there)
 /// have no leg.
@@ -34,8 +46,12 @@ pub struct QueryPlan {
 }
 
 impl QueryPlan {
-    /// A plan over the given legs.
-    pub fn new(legs: Vec<ShardLeg>) -> Self {
+    /// A plan over the given legs, normalised to ascending
+    /// [`ShardLeg::merge_key`] order — the order executors submit legs
+    /// in and engines merge their outputs in, regardless of how many
+    /// workers raced to finish them.
+    pub fn new(mut legs: Vec<ShardLeg>) -> Self {
+        legs.sort_by_key(ShardLeg::merge_key);
         QueryPlan { legs }
     }
 
@@ -95,5 +111,12 @@ mod tests {
         assert!(!p.is_empty());
         assert_eq!(p.shards(), vec![1, 3]);
         assert_eq!(p.primary().est_ms, 3.0);
+    }
+
+    #[test]
+    fn plan_normalises_to_merge_key_order() {
+        let p = QueryPlan::new(vec![leg(3, 5.0), leg(0, 1.0), leg(1, 3.0)]);
+        assert_eq!(p.shards(), vec![0, 1, 3]);
+        assert!(p.legs.windows(2).all(|w| w[0].merge_key() < w[1].merge_key()));
     }
 }

@@ -18,17 +18,25 @@
 //! directory, secondary indexes, CMs) and owns the INSERT/DELETE
 //! maintenance paths measured in Experiment 3. [`Planner`] chooses among
 //! the paths with the paper's cost model.
+//!
+//! Multi-table execution builds on the same paths: [`join`] defines the
+//! equi-join vocabulary plus the CM-clamped probe scan, and [`agg`] the
+//! mergeable grouped-aggregation states engines fold per shard leg.
 
+pub mod agg;
 pub mod error;
 pub mod exec;
+pub mod join;
 pub mod leg;
 pub mod plan;
 pub mod predicate;
 pub mod shard;
 pub mod table;
 
+pub use agg::{AggFunc, AggSpec, AggState};
 pub use error::QueryError;
-pub use exec::{ExecContext, RunResult};
+pub use exec::{merge_page_ranges, ExecContext, RunResult};
+pub use join::{JoinHashTable, JoinQuery, JoinSide, JoinStrategy};
 pub use leg::{QueryPlan, ShardLeg};
 pub use plan::{AccessPath, PlanChoice, Planner};
 pub use predicate::{Pred, PredOp, Query};

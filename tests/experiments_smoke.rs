@@ -133,6 +133,36 @@ fn engine_mixed_smoke() {
 }
 
 #[test]
+fn engine_join_smoke() {
+    // `run()` itself asserts that every probe strategy agrees on the
+    // join cardinality; the planner-selection and clamp-beats-hash gates
+    // apply at full scale only (smoke heaps collapse to the scan
+    // ceiling).
+    let r = experiments::engine_join::run(BenchScale::Smoke);
+    assert_eq!(r.rows.len(), 8, "two keys x three strategies + two agg rows");
+    for key in ["shipdate", "partkey"] {
+        let row = |tag: &str| {
+            let label = format!("{key} {tag}");
+            r.rows
+                .iter()
+                .find(|row| row.label == label)
+                .unwrap_or_else(|| panic!("row {label} present"))
+        };
+        assert_eq!(row("hash (forced)").cells[0], "hash");
+        assert!(
+            row("cm-clamp (forced)").cells[0].starts_with("cm-clamp"),
+            "{}",
+            row("cm-clamp (forced)").cells[0]
+        );
+        // The planner row priced both strategies on these CM-covered keys.
+        assert_ne!(row("planner").cells[2], "-", "cm estimate priced for {key}");
+    }
+    let json = r.to_json();
+    assert!(json.contains("\"id\":\"engine_join\""));
+    check(r, true);
+}
+
+#[test]
 fn engine_sharded_smoke() {
     let r = experiments::engine_sharded::run(BenchScale::Smoke);
     assert_eq!(r.rows.len(), 10, "four shard counts at two mixes + WAL comparison");
